@@ -1,0 +1,40 @@
+"""Benchmark-harness plumbing.
+
+Every file under ``benchmarks/`` regenerates one table or figure of the
+paper. Conventions:
+
+- each benchmark runs its figure's data assembly exactly once via
+  ``benchmark.pedantic(..., rounds=1)`` — pytest-benchmark then reports
+  how long the regeneration takes;
+- the regenerated rows/series are printed AND written to
+  ``benchmarks/results/<name>.txt`` so a full run leaves a browsable
+  record (EXPERIMENTS.md is assembled from these);
+- reference counts come from :data:`repro.analysis.figures.
+  DEFAULT_BENCH_REFS` (override with the ``REPRO_REFS`` env var).
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+@pytest.fixture
+def emit():
+    """Writer fixture: ``emit(name, text)`` prints and persists output."""
+
+    def _emit(name: str, text: str) -> None:
+        RESULTS_DIR.mkdir(exist_ok=True)
+        path = RESULTS_DIR / f"{name}.txt"
+        path.write_text(text + "\n")
+        print(f"\n{text}\n[saved to {path}]")
+
+    return _emit
+
+
+def run_once(benchmark, fn, *args, **kwargs):
+    """Run a figure-assembly function exactly once under the timer."""
+    return benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1, iterations=1)

@@ -1,0 +1,39 @@
+"""Fig. 2: exclusive vs non-inclusive EPI per benchmark (SRAM & STT)."""
+
+from conftest import run_once
+
+from repro.analysis.figures import fig2_motivation
+from repro.analysis.tables import render_mapping_table, summarize_columns
+
+
+def test_fig02_motivation(benchmark, emit):
+    sram_rows, stt_rows = run_once(benchmark, fig2_motivation)
+    text = "\n\n".join(
+        (
+            render_mapping_table(
+                "Fig. 2a: SRAM LLC — exclusive EPI normalised to non-inclusive",
+                sram_rows,
+                row_label="benchmark",
+            ),
+            render_mapping_table(
+                "Fig. 2b/2c: STT-RAM LLC — exclusive EPI, relative misses/writes",
+                stt_rows,
+                row_label="benchmark",
+            ),
+            f"averages: SRAM {summarize_columns(sram_rows)}  "
+            f"STT {summarize_columns(stt_rows)}",
+        )
+    )
+    emit("fig02_motivation", text)
+
+    # Paper shape: on STT-RAM, some benchmarks favour exclusion and some
+    # non-inclusion (no dominant policy) ...
+    stt_epi = [cols["ex_epi"] for cols in stt_rows.values()]
+    assert min(stt_epi) < 0.95 and max(stt_epi) > 1.05
+    # ... the loop-heavy benchmarks are the ones punishing exclusion ...
+    assert stt_rows["omnetpp"]["ex_epi"] > 1.2
+    assert stt_rows["libquantum"]["ex_epi"] < 0.85
+    # ... and the exclusive policy's EPI tracks its relative writes.
+    for cols in stt_rows.values():
+        if cols["rel_writes"] > 1.3:
+            assert cols["ex_epi"] > 1.0

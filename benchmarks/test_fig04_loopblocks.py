@@ -1,0 +1,26 @@
+"""Fig. 4: loop-block distribution and clean-trip-count buckets."""
+
+from conftest import run_once
+
+from repro.analysis.figures import fig4_loop_blocks
+from repro.analysis.tables import render_mapping_table
+
+
+def test_fig04_loopblocks(benchmark, emit):
+    rows = run_once(benchmark, fig4_loop_blocks)
+    emit(
+        "fig04_loopblocks",
+        render_mapping_table(
+            "Fig. 4: loop-block fraction of L2 evictions + CTC bucket shares",
+            rows,
+            row_label="benchmark",
+        ),
+    )
+    # Paper: omnetpp and xalancbmk exceed 60%, bzip2 exceeds 20%, and
+    # the loop-block populations are dominated by CTC >= 5 streaks.
+    assert rows["omnetpp"]["loop_fraction"] > 0.5
+    assert rows["xalancbmk"]["loop_fraction"] > 0.4
+    assert rows["bzip2"]["loop_fraction"] > 0.15
+    assert rows["lbm"]["loop_fraction"] < 0.1
+    loopy = rows["omnetpp"]
+    assert loopy["share[ctc>=5]"] > loopy["share[ctc=1]"]

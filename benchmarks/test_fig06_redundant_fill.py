@@ -1,0 +1,25 @@
+"""Fig. 6: redundant LLC data-fill distribution (non-inclusive LLC)."""
+
+from conftest import run_once
+
+from repro.analysis.figures import fig6_redundant_fill
+from repro.analysis.tables import render_mapping_table
+
+
+def test_fig06_redundant_fill(benchmark, emit):
+    rows = run_once(benchmark, fig6_redundant_fill)
+    emit(
+        "fig06_redundant_fill",
+        render_mapping_table(
+            "Fig. 6: redundant fills / total LLC data-fills (non-inclusive)",
+            rows,
+            row_label="benchmark",
+        ),
+    )
+    frac = {b: cols["redundant_fill_fraction"] for b, cols in rows.items()}
+    # Paper: libquantum > 80%; astar, GemsFDTD, mcf high; loop-heavy
+    # benchmarks low (their fills get reused).
+    assert frac["libquantum"] > 0.8
+    for bench in ("astar", "GemsFDTD", "mcf"):
+        assert frac[bench] > 0.25, bench
+    assert frac["omnetpp"] < 0.2

@@ -1,0 +1,38 @@
+"""Fig. 12: noni vs ex on the Table III mixes (SRAM & STT, breakdown)."""
+
+from conftest import run_once
+
+from repro.analysis.figures import fig12_noni_vs_ex
+from repro.analysis.metrics import average_over
+from repro.analysis.tables import render_mapping_table
+from repro.workloads import WH_MIXES, WL_MIXES
+
+
+def test_fig12_mixes(benchmark, emit):
+    sram_rows, stt_rows = run_once(benchmark, fig12_noni_vs_ex)
+    wl_avg = average_over(stt_rows, WL_MIXES)
+    wh_avg = average_over(stt_rows, WH_MIXES)
+    text = "\n\n".join(
+        (
+            render_mapping_table(
+                "Fig. 12a: SRAM LLC — exclusive EPI normalised to non-inclusive",
+                sram_rows,
+                row_label="mix",
+            ),
+            render_mapping_table(
+                "Fig. 12c/d: STT-RAM LLC — exclusive EPI + static shares",
+                stt_rows,
+                row_label="mix",
+            ),
+            f"STT averages: WL {wl_avg}  WH {wh_avg}",
+        )
+    )
+    emit("fig12_mixes", text)
+
+    # Paper: exclusion wins on WL mixes (-18% avg) and loses on WH mixes
+    # (+12% avg) for STT-RAM; SRAM never punishes exclusion much.
+    assert wl_avg["ex_epi"] < 1.0
+    assert wh_avg["ex_epi"] > 1.05
+    assert all(cols["ex_epi"] < 1.05 for cols in sram_rows.values())
+    # WL mixes have Wrel < 1, WH mixes Wrel > 1 by construction.
+    assert wl_avg["rel_writes"] < 1.0 < wh_avg["rel_writes"]

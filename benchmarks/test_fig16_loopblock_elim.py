@@ -1,0 +1,34 @@
+"""Fig. 16: energy-harmful loop-block re-insertions per policy."""
+
+from conftest import run_once
+
+from repro.analysis.figures import fig16_loop_occupancy
+from repro.analysis.tables import render_mapping_table, summarize_columns
+from repro.workloads import WH_MIXES
+
+
+def test_fig16_loopblock_elimination(benchmark, emit):
+    rows = run_once(benchmark, fig16_loop_occupancy)
+    avg = summarize_columns(rows)
+    emit(
+        "fig16_loopblock_elim",
+        render_mapping_table(
+            "Fig. 16: share of LLC writes that redundantly re-insert "
+            "loop-blocks (clean victims with a prior clean trip)",
+            rows,
+            row_label="mix",
+        )
+        + f"\naverages: {avg}",
+    )
+    # Paper reading: WH mixes carry large loop-block populations under
+    # exclusion; FLEXclusion/Dswitch eliminate part of them by spending
+    # phases in non-inclusive mode, and LAP eliminates almost all of
+    # them via its duplicate check.
+    assert avg["exclusive"] > 0.1
+    assert avg["dswitch"] <= avg["exclusive"]
+    assert avg["lap"] < 0.1
+    assert avg["lap"] < avg["dswitch"]
+    for mix in WH_MIXES:
+        assert rows[mix]["lap"] < rows[mix]["exclusive"], mix
+    # non-inclusion performs no clean-victim writes at all
+    assert all(cols["non-inclusive"] == 0.0 for cols in rows.values())

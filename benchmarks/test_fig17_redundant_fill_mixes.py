@@ -1,0 +1,25 @@
+"""Fig. 17: redundant LLC data-fills of the non-inclusive LLC per mix."""
+
+from conftest import run_once
+
+from repro.analysis.figures import fig17_redundant_fill_mixes
+from repro.analysis.tables import render_mapping_table, summarize_columns
+
+
+def test_fig17_redundant_fill_mixes(benchmark, emit):
+    rows = run_once(benchmark, fig17_redundant_fill_mixes)
+    avg = summarize_columns(rows)["redundant_fill_fraction"]
+    emit(
+        "fig17_redundant_fill_mixes",
+        render_mapping_table(
+            "Fig. 17: redundant fills / total fills under non-inclusion",
+            rows,
+            row_label="mix",
+        )
+        + f"\naverage: {avg:.3f} (paper: 0.096 average, >0.3 for some mixes)",
+    )
+    fracs = [c["redundant_fill_fraction"] for c in rows.values()]
+    assert 0.03 < avg < 0.6
+    assert max(fracs) > 0.3, "some mixes should exceed 30% redundant fills"
+    # WL2 contains libquantum + GemsFDTD: heavily redundant fills.
+    assert rows["WL2"]["redundant_fill_fraction"] > 0.3

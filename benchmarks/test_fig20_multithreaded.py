@@ -1,0 +1,40 @@
+"""Fig. 20: multithreaded (PARSEC-like) energy, performance, snoops."""
+
+from conftest import run_once
+
+from repro.analysis.figures import fig20_multithreaded
+from repro.analysis.tables import render_mapping_table, summarize_columns
+
+
+def test_fig20_multithreaded(benchmark, emit):
+    energy, perf, snoop = run_once(benchmark, fig20_multithreaded)
+    e_avg = summarize_columns(energy)
+    p_avg = summarize_columns(perf)
+    s_avg = summarize_columns(snoop)
+    text = "\n\n".join(
+        (
+            render_mapping_table(
+                "Fig. 20a: LLC total energy (normalised to non-inclusive)",
+                energy,
+                "benchmark",
+            ),
+            render_mapping_table("Fig. 20b: performance (normalised)", perf, "benchmark"),
+            render_mapping_table(
+                "Fig. 20c: snoop traffic (normalised)", snoop, "benchmark"
+            ),
+            f"averages: energy {e_avg}",
+            f"averages: perf {p_avg}  snoop {s_avg}",
+        )
+    )
+    emit("fig20_multithreaded", text)
+
+    # Paper: LAP saves ~11% vs non-inclusion on average (streamcluster
+    # the largest), with write-aware Dswitch beating FLEXclusion.
+    assert e_avg["lap"] < 0.97
+    assert e_avg["lap"] < e_avg["exclusive"]
+    assert e_avg["dswitch"] <= e_avg["flexclusion"] + 0.02
+    assert energy["streamcluster"]["lap"] < 1.0
+    # performance: LAP roughly matches non-inclusion on average
+    assert p_avg["lap"] > 0.93
+    # coherence traffic exists and stays within sane bounds
+    assert all(0.1 < v < 3.0 for cols in snoop.values() for v in cols.values())

@@ -1,0 +1,27 @@
+"""Fig. 21: sensitivity to the L2:L3 capacity ratio."""
+
+from conftest import run_once
+
+from repro.analysis.figures import fig21_capacity_ratio
+from repro.analysis.tables import render_mapping_table
+
+
+def test_fig21_ratio_sensitivity(benchmark, emit):
+    rows = run_once(benchmark, fig21_capacity_ratio)
+    emit(
+        "fig21_ratio_sensitivity",
+        render_mapping_table(
+            "Fig. 21: LLC EPI vs L2:L3 ratio (normalised to non-inclusive, "
+            "averaged over WL2/WL4/WH1/WH5)",
+            rows,
+            row_label="configuration",
+        ),
+    )
+    # Paper: exclusion's (and LAP's) advantage over non-inclusion grows
+    # with the L2:L3 ratio, because duplicate capacity waste grows.
+    assert rows["L2:L3=1:2"]["exclusive"] < rows["L2:L3=1:8"]["exclusive"] + 0.02
+    assert rows["L2:L3=1:2"]["lap"] < rows["L2:L3=1:8"]["lap"]
+    # LAP keeps saving energy at every ratio, including the big-LLC
+    # configuration (paper: ~10% at iso-area 24MB).
+    for label, cols in rows.items():
+        assert cols["lap"] < 1.0, label

@@ -1,0 +1,24 @@
+"""Fig. 22: 4-core vs 8-core sensitivity (fixed cache capacities)."""
+
+from conftest import run_once
+
+from repro.analysis.figures import fig22_core_count
+from repro.analysis.tables import render_mapping_table
+
+
+def test_fig22_cores(benchmark, emit):
+    rows = run_once(benchmark, fig22_core_count)
+    emit(
+        "fig22_cores",
+        render_mapping_table(
+            "Fig. 22: LLC EPI normalised to non-inclusive, 4 vs 8 cores",
+            rows,
+            row_label="system",
+        ),
+    )
+    # Paper: with more cores contending for the same LLC, exclusion's
+    # capacity benefit grows; LAP keeps double-digit savings at 8 cores.
+    assert rows["8-core"]["exclusive"] <= rows["4-core"]["exclusive"] + 0.03
+    for system, cols in rows.items():
+        assert cols["lap"] < 1.0, system
+    assert rows["8-core"]["lap"] < 0.95

@@ -1,0 +1,37 @@
+"""Fig. 23: EPI savings vs write/read energy ratio + published configs."""
+
+from conftest import run_once
+
+from repro.analysis.figures import fig23_energy_ratio
+from repro.analysis.tables import render_mapping_table
+
+
+def test_fig23_energy_ratio(benchmark, emit):
+    curve, published = run_once(benchmark, fig23_energy_ratio)
+    emit(
+        "fig23_energy_ratio",
+        render_mapping_table(
+            "Fig. 23: LAP EPI saving over non-inclusion vs write/read ratio "
+            "(read energy and leakage fixed)",
+            curve,
+            row_label="scaling point",
+        )
+        + "\n\n"
+        + render_mapping_table(
+            "Fig. 23 overlay: published STT-RAM design points",
+            published,
+            row_label="config",
+        ),
+    )
+    points = sorted(curve.values(), key=lambda c: c["write_read_ratio"])
+    savings = [p["epi_saving"] for p in points]
+    # Paper: savings grow with the ratio and are positive already at 2x
+    # (17% in the paper's setup).
+    assert savings == sorted(savings)
+    assert savings[0] > 0.0
+    assert savings[-1] > savings[0] + 0.1
+    # Published design points land near the curve: saving within a few
+    # points of the nearest scaling sample.
+    for cols in published.values():
+        nearest = min(points, key=lambda p: abs(p["write_read_ratio"] - cols["write_read_ratio"]))
+        assert abs(cols["epi_saving"] - nearest["epi_saving"]) < 0.12

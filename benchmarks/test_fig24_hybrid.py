@@ -1,0 +1,32 @@
+"""Fig. 24: hybrid SRAM/STT-RAM LLC energy per policy."""
+
+from conftest import run_once
+
+from repro.analysis.figures import fig24_hybrid
+from repro.analysis.tables import render_mapping_table, summarize_columns
+
+
+def test_fig24_hybrid(benchmark, emit):
+    rows = run_once(benchmark, fig24_hybrid)
+    avg = summarize_columns(rows)
+    emit(
+        "fig24_hybrid",
+        render_mapping_table(
+            "Fig. 24: hybrid-LLC EPI (normalised to non-inclusive)",
+            rows,
+            row_label="mix",
+        )
+        + f"\naverages: {avg}",
+    )
+    # Paper: on the hybrid LLC, LAP saves ~15%/8% vs noni/ex and the
+    # Lhybrid placement adds ~7 points more (22%/15% total).
+    assert avg["lap"] < 0.95
+    assert avg["lhybrid"] < avg["lap"]
+    assert avg["lhybrid"] < avg["exclusive"]
+    assert avg["lhybrid"] < 0.90
+    # Lhybrid wins on most mixes; loop-dominated mixes can regress
+    # slightly because non-loop data is confined to the 4 SRAM ways
+    # (the paper's "small worst-case loss").
+    wins = sum(1 for cols in rows.values() if cols["lhybrid"] <= cols["lap"])
+    assert wins >= 7
+    assert all(cols["lhybrid"] < 1.15 for cols in rows.values())

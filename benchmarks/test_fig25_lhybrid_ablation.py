@@ -1,0 +1,31 @@
+"""Fig. 25: Lhybrid data-placement stage ablation."""
+
+from conftest import run_once
+
+from repro.analysis.figures import fig25_lhybrid_stages
+from repro.analysis.tables import render_mapping_table, summarize_columns
+
+
+def test_fig25_lhybrid_ablation(benchmark, emit):
+    rows = run_once(benchmark, fig25_lhybrid_stages)
+    avg = summarize_columns(rows)
+    emit(
+        "fig25_lhybrid_ablation",
+        render_mapping_table(
+            "Fig. 25: Lhybrid stages — EPI normalised to non-inclusive "
+            "(Winv: write-hit invalidation; LoopSTT: loop-blocks to STT; "
+            "NloopSRAM: non-loop-blocks to SRAM)",
+            rows,
+            row_label="mix",
+        )
+        + f"\naverages: {avg}",
+    )
+    # Paper: each stage individually improves (or at least does not
+    # hurt) plain LAP slightly; the combined Lhybrid is the best.
+    assert avg["lhybrid"] <= min(
+        avg["lap"], avg["lap+winv"], avg["lap+loopstt"], avg["lap+nloopsram"]
+    ) + 0.01
+    assert avg["lap+winv"] <= avg["lap"] + 0.02
+    assert avg["lap+nloopsram"] <= avg["lap"] + 0.02
+    # NloopSRAM is the dominant stage on write-heavy WL3-style mixes.
+    assert rows["WL3"]["lap+nloopsram"] < rows["WL3"]["lap"]

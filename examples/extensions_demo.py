@@ -1,0 +1,74 @@
+#!/usr/bin/env python
+"""Extensions walkthrough: trace capture/replay + dead-write bypass.
+
+1. Captures a streaming benchmark's reference stream to a trace file
+   and replays it — the replayed simulation is bit-identical to the
+   live one (the mechanism for archiving results and importing external
+   traces).
+2. Composes LAP with the dead-write bypass predictor (the DASCA-style
+   technique the paper calls orthogonal in Section VII) and shows the
+   write traffic and energy compound.
+
+Run:  python examples/extensions_demo.py [refs_per_core]
+"""
+
+import sys
+import tempfile
+from pathlib import Path
+
+from repro import SystemConfig, Workload, make_workload, simulate
+from repro.analysis import render_table
+from repro.workloads.tracefile import load_trace, save_trace
+
+
+def main() -> None:
+    refs = int(sys.argv[1]) if len(sys.argv) > 1 else 12_000
+    system = SystemConfig.scaled()
+
+    # ---- 1. capture & replay -----------------------------------------
+    live = make_workload("bwaves", system, seed=42)
+    captured = make_workload("bwaves", system, seed=42)
+    with tempfile.TemporaryDirectory() as tmp:
+        paths = [
+            save_trace(Path(tmp) / f"core{i}", gen, refs)
+            for i, gen in enumerate(captured.generators)
+        ]
+        replay = Workload(
+            name="bwaves-replay",
+            kind="multiprogrammed",
+            generators=[load_trace(p) for p in paths],
+            benchmarks=live.benchmarks,
+        )
+        r_live = simulate(system, "exclusive", live, refs_per_core=refs)
+        r_replay = simulate(system, "exclusive", replay, refs_per_core=refs)
+    identical = r_live.llc.snapshot() == r_replay.llc.snapshot()
+    print(f"capture/replay: LLC statistics identical = {identical}\n")
+
+    # ---- 2. dead-write bypass composition -----------------------------
+    results = {}
+    for policy in ("non-inclusive", "exclusive", "exclusive+dwb", "lap", "lap+dwb"):
+        workload = make_workload("bwaves", system, seed=42)
+        results[policy] = simulate(system, policy, workload, refs_per_core=refs)
+    base = results["non-inclusive"]
+    rows = [
+        [p, r.epi / base.epi, r.llc_writes / max(1, base.llc_writes)]
+        for p, r in results.items()
+    ]
+    print(
+        render_table(
+            "bwaves (streaming): dead-write bypass composition "
+            "(normalised to non-inclusive)",
+            ["policy", "EPI", "LLC writes"],
+            rows,
+        )
+    )
+    lap, lapdwb = results["lap"], results["lap+dwb"]
+    print(
+        f"\nLAP+DWB removes a further "
+        f"{1 - lapdwb.llc_writes / max(1, lap.llc_writes):.1%} of LAP's writes — "
+        "the bypass is orthogonal to selective inclusion, as Section VII claims."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,27 @@
+"""Analysis: metrics, ASCII tables, per-figure data assembly."""
+
+from .charts import render_bars, render_grouped_bars, render_scatter
+from .metrics import (
+    average_over,
+    borderline_slope,
+    classify_wl_wh,
+    epi_saving,
+    favors_exclusion,
+    relative,
+)
+from .tables import render_mapping_table, render_table, summarize_columns
+
+__all__ = [
+    "epi_saving",
+    "relative",
+    "classify_wl_wh",
+    "favors_exclusion",
+    "borderline_slope",
+    "average_over",
+    "render_table",
+    "render_mapping_table",
+    "summarize_columns",
+    "render_bars",
+    "render_grouped_bars",
+    "render_scatter",
+]

@@ -1,0 +1,108 @@
+"""ASCII charts for terminal reports.
+
+The paper's figures are bar charts and scatter plots; the benchmark
+harness reproduces their *data*, and these helpers render quick visual
+summaries directly in the terminal so shapes can be eyeballed without a
+plotting stack (the repository is dependency-light by design).
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Optional, Sequence, Tuple
+
+from ..errors import AnalysisError
+
+FULL = "█"
+PARTIALS = ("", "▏", "▎", "▍", "▌", "▋", "▊", "▉")
+
+
+def _bar(value: float, scale: float, width: int) -> str:
+    if scale <= 0:
+        raise AnalysisError("bar scale must be positive")
+    cells = max(0.0, value) / scale * width
+    whole = int(cells)
+    frac = int((cells - whole) * 8)
+    return FULL * whole + (PARTIALS[frac] if frac else "")
+
+
+def render_bars(
+    title: str,
+    data: Mapping[str, float],
+    width: int = 40,
+    reference: Optional[float] = None,
+    fmt: str = "{:.3f}",
+) -> str:
+    """Horizontal bar chart of labelled values.
+
+    ``reference`` draws a marker column (e.g. at 1.0 for normalised
+    metrics) so above/below-baseline bars are visually obvious.
+    """
+    if not data:
+        raise AnalysisError(f"no data for chart {title!r}")
+    top = max(list(data.values()) + ([reference] if reference else []))
+    if top <= 0:
+        raise AnalysisError("bar charts need at least one positive value")
+    label_w = max(len(k) for k in data)
+    ref_col = int(reference / top * width) if reference else None
+    lines = [title, "-" * max(len(title), label_w + width + 10)]
+    for label, value in data.items():
+        bar = _bar(value, top, width)
+        if ref_col is not None and len(bar) < ref_col:
+            bar = bar + " " * (ref_col - len(bar)) + "|"
+        lines.append(f"{label.ljust(label_w)} {bar} {fmt.format(value)}")
+    if reference is not None:
+        lines.append(f"{''.ljust(label_w)} {'^'.rjust(ref_col + 1)} reference={fmt.format(reference)}")
+    return "\n".join(lines)
+
+
+def render_grouped_bars(
+    title: str,
+    rows: Mapping[str, Mapping[str, float]],
+    width: int = 30,
+    reference: Optional[float] = 1.0,
+) -> str:
+    """One bar group per row (e.g. per mix), one bar per column (policy)."""
+    if not rows:
+        raise AnalysisError(f"no data for chart {title!r}")
+    blocks = [title, "=" * len(title)]
+    for row_label, cols in rows.items():
+        blocks.append(render_bars(row_label, cols, width=width, reference=reference))
+        blocks.append("")
+    return "\n".join(blocks).rstrip()
+
+
+def render_scatter(
+    title: str,
+    points: Sequence[Tuple[float, float, str]],
+    width: int = 56,
+    height: int = 16,
+    xlabel: str = "x",
+    ylabel: str = "y",
+) -> str:
+    """Character-grid scatter plot; each point carries a 1-char marker.
+
+    Used for the Fig. 13 (M_rel vs W_rel) cloud: pass ``"+"`` for mixes
+    favouring exclusion and ``"o"`` for the rest and the two clouds
+    separate visually.
+    """
+    if not points:
+        raise AnalysisError(f"no points for scatter {title!r}")
+    xs = [p[0] for p in points]
+    ys = [p[1] for p in points]
+    x_lo, x_hi = min(xs), max(xs)
+    y_lo, y_hi = min(ys), max(ys)
+    x_span = (x_hi - x_lo) or 1.0
+    y_span = (y_hi - y_lo) or 1.0
+    grid = [[" "] * width for _ in range(height)]
+    for x, y, marker in points:
+        col = int((x - x_lo) / x_span * (width - 1))
+        row = height - 1 - int((y - y_lo) / y_span * (height - 1))
+        grid[row][col] = (marker or "*")[0]
+    lines = [title, "-" * max(len(title), width + 2)]
+    for i, row in enumerate(grid):
+        edge_val = y_hi - (y_hi - y_lo) * i / (height - 1)
+        lines.append(f"{edge_val:7.2f} |" + "".join(row))
+    lines.append(" " * 8 + "+" + "-" * width)
+    lines.append(f"{'':8} {x_lo:<10.2f}{xlabel:^{max(0, width - 22)}}{x_hi:>10.2f}")
+    lines.append(f"(y = {ylabel})")
+    return "\n".join(lines)

@@ -1,0 +1,68 @@
+"""Metric helpers shared by figures, tests, and examples."""
+
+from __future__ import annotations
+
+from typing import Dict, Mapping, Sequence, Tuple
+
+from ..errors import AnalysisError
+from ..sim.results import RunResult
+
+
+def epi_saving(result: RunResult, baseline: RunResult) -> float:
+    """Fractional EPI saving of ``result`` over ``baseline`` (positive
+    = better)."""
+    if baseline.epi == 0:
+        raise AnalysisError("baseline EPI is zero")
+    return 1.0 - result.epi / baseline.epi
+
+
+def relative(result: RunResult, baseline: RunResult, metric: str) -> float:
+    """Ratio of a metric between two runs (the paper's M_rel/W_rel)."""
+    base = getattr(baseline, metric)
+    if base == 0:
+        raise AnalysisError(f"baseline metric {metric!r} is zero")
+    return getattr(result, metric) / base
+
+
+def classify_wl_wh(noni: RunResult, exclusive: RunResult) -> str:
+    """Classify a workload as WL (fewer writes under exclusion) or WH."""
+    return "WL" if exclusive.llc_writes <= noni.llc_writes else "WH"
+
+
+def favors_exclusion(noni: RunResult, exclusive: RunResult) -> bool:
+    """True when the exclusive policy is the more energy-efficient one."""
+    return exclusive.epi < noni.epi
+
+
+def borderline_slope(points: Sequence[Tuple[float, float, bool]]) -> float:
+    """Estimate Fig. 13's borderline slope via a linear decision fit.
+
+    ``points`` are ``(Mrel, Wrel, favors_exclusion)`` triples. The paper
+    reports that workloads separate around a line ``Wrel = a*Mrel + b``
+    with slope ≈ −0.8; we recover a comparable slope by least-squares
+    fitting the boundary between the two classes: for each class we take
+    its centroid and return the slope of the perpendicular bisector's
+    direction in (Mrel, Wrel) space.
+    """
+    fav = [(m, w) for m, w, f in points if f]
+    nof = [(m, w) for m, w, f in points if not f]
+    if not fav or not nof:
+        raise AnalysisError("need both classes to estimate a borderline")
+    cf = (sum(m for m, _ in fav) / len(fav), sum(w for _, w in fav) / len(fav))
+    cn = (sum(m for m, _ in nof) / len(nof), sum(w for _, w in nof) / len(nof))
+    dx, dy = cn[0] - cf[0], cn[1] - cf[1]
+    if dy == 0:
+        raise AnalysisError("degenerate class separation")
+    # The boundary is perpendicular to the centroid difference vector.
+    return -dx / dy
+
+
+def average_over(rows: Mapping[str, Mapping[str, float]], keys: Sequence[str]) -> Dict[str, float]:
+    """Average each column over a subset of rows (e.g. the WL mixes)."""
+    subset = [rows[k] for k in keys if k in rows]
+    if not subset:
+        raise AnalysisError(f"none of {keys} present in rows")
+    out: Dict[str, float] = {}
+    for col in subset[0]:
+        out[col] = sum(r[col] for r in subset) / len(subset)
+    return out

@@ -1,0 +1,74 @@
+"""ASCII rendering of tables and series.
+
+The benchmark harness prints the same rows/series the paper reports;
+these helpers keep the formatting uniform and dependency-free.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Mapping, Sequence
+
+from ..errors import AnalysisError
+
+
+def _fmt(value) -> str:
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        if abs(value) >= 1000 or abs(value) < 0.001:
+            return f"{value:.3e}"
+        return f"{value:.3f}"
+    return str(value)
+
+
+def render_table(
+    title: str,
+    headers: Sequence[str],
+    rows: Iterable[Sequence],
+) -> str:
+    """Render a fixed-width table with a title rule."""
+    str_rows: List[List[str]] = [[_fmt(c) for c in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        if len(row) != len(headers):
+            raise AnalysisError(
+                f"row width {len(row)} does not match {len(headers)} headers in {title!r}"
+            )
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    sep = "-+-".join("-" * w for w in widths)
+    lines = [title, "=" * max(len(title), len(sep))]
+    lines.append(" | ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    lines.append(sep)
+    for row in str_rows:
+        lines.append(" | ".join(c.ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def render_mapping_table(
+    title: str,
+    data: Mapping[str, Mapping[str, float]],
+    row_label: str = "workload",
+) -> str:
+    """Render a nested ``{row: {column: value}}`` mapping as a table."""
+    if not data:
+        raise AnalysisError(f"no data to render for {title!r}")
+    columns: List[str] = []
+    for cols in data.values():
+        for c in cols:
+            if c not in columns:
+                columns.append(c)
+    headers = [row_label] + columns
+    rows = [[name] + [cols.get(c, float("nan")) for c in columns] for name, cols in data.items()]
+    return render_table(title, headers, rows)
+
+
+def summarize_columns(data: Mapping[str, Mapping[str, float]]) -> Dict[str, float]:
+    """Arithmetic mean of every column across rows (the paper's 'Avg')."""
+    sums: Dict[str, float] = {}
+    counts: Dict[str, int] = {}
+    for cols in data.values():
+        for c, v in cols.items():
+            sums[c] = sums.get(c, 0.0) + v
+            counts[c] = counts.get(c, 0) + 1
+    return {c: sums[c] / counts[c] for c in sums}

@@ -1,0 +1,50 @@
+"""Cache substrate: blocks, sets, set-associative caches, replacement.
+
+This subpackage is policy-free plumbing: it models tag/data arrays and
+counts events. Inclusion properties live in :mod:`repro.inclusion` and
+the paper's contribution in :mod:`repro.core`.
+"""
+
+from .block import (
+    STATE_EXCLUSIVE,
+    STATE_INVALID,
+    STATE_MODIFIED,
+    STATE_NONE,
+    STATE_OWNED,
+    STATE_SHARED,
+    CacheBlock,
+)
+from .cache import Cache, EvictedLine
+from .replacement import (
+    LoopAwarePolicy,
+    LRUPolicy,
+    MRUPolicy,
+    RandomPolicy,
+    ReplacementPolicy,
+    SRRIPPolicy,
+)
+from .set import CacheSet
+from .stats import CacheStats, CoherenceStats, DuelingStats, LoopBlockStats
+
+__all__ = [
+    "CacheBlock",
+    "Cache",
+    "CacheSet",
+    "EvictedLine",
+    "CacheStats",
+    "CoherenceStats",
+    "DuelingStats",
+    "LoopBlockStats",
+    "ReplacementPolicy",
+    "LRUPolicy",
+    "MRUPolicy",
+    "RandomPolicy",
+    "SRRIPPolicy",
+    "LoopAwarePolicy",
+    "STATE_INVALID",
+    "STATE_SHARED",
+    "STATE_EXCLUSIVE",
+    "STATE_OWNED",
+    "STATE_MODIFIED",
+    "STATE_NONE",
+]

@@ -1,0 +1,357 @@
+"""Set-associative cache model.
+
+:class:`Cache` is the substrate every hierarchy level is built from. It
+models the tag/data arrays of a banked, set-associative, write-back
+cache and counts every energy-relevant event into a
+:class:`~repro.cache.stats.CacheStats`. It holds *no* policy decisions
+beyond victim selection — inclusion behaviour, coherence, and placement
+are orchestrated by the hierarchy and policy layers, which drive the
+primitive operations exposed here.
+
+Hybrid LLCs (Section IV / Table II) are modelled by partitioning the
+ways of every set between an ``"sram"`` region and an ``"stt"`` region;
+homogeneous caches place all ways in a single region named after their
+technology.
+"""
+
+from __future__ import annotations
+
+from typing import List, NamedTuple, Optional
+
+from ..errors import ConfigurationError
+from ..utils import ilog2, require_pow2
+from .block import CacheBlock
+from .replacement import LRUPolicy, ReplacementPolicy
+from .set import CacheSet
+from .stats import CacheStats
+
+
+class EvictedLine(NamedTuple):
+    """Snapshot of a victim block at the moment of its eviction.
+
+    ``addr`` is the block-aligned byte address reconstructed from the
+    victim's tag and set index, so cascaded eviction flows (L2 victim →
+    LLC insertion → LLC victim → memory) can re-index the line at the
+    next level. ``reused`` records whether the line was touched after
+    insertion — dead-write predictors train on it.
+    """
+
+    addr: int
+    dirty: bool
+    loop_bit: bool
+    tech: str
+    state: str
+    reused: bool = False
+
+
+class Cache:
+    """A banked, set-associative, write-back cache tag/data model.
+
+    Parameters
+    ----------
+    name:
+        Label used in stats reporting (``"L1"``, ``"L2-0"``, ``"L3"``).
+    size_bytes / assoc / block_size:
+        Standard power-of-two geometry.
+    replacement:
+        Default :class:`ReplacementPolicy`; individual operations may
+        override it per call (set-dueling relies on this).
+    tech:
+        ``"sram"`` or ``"stt"`` for homogeneous caches.
+    sram_ways:
+        When given, builds a hybrid cache: ways ``[0, sram_ways)`` are
+        SRAM, the rest STT-RAM (``tech`` is then ignored for ways).
+    banks:
+        Number of independently busy banks (address-interleaved at
+        block granularity); used by the timing model.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        size_bytes: int,
+        assoc: int,
+        block_size: int = 64,
+        replacement: Optional[ReplacementPolicy] = None,
+        tech: str = "sram",
+        sram_ways: Optional[int] = None,
+        banks: int = 1,
+    ) -> None:
+        require_pow2(size_bytes, f"{name} size_bytes")
+        require_pow2(block_size, f"{name} block_size")
+        require_pow2(banks, f"{name} banks")
+        if assoc <= 0:
+            raise ConfigurationError(f"{name} associativity must be positive, got {assoc}")
+        if tech not in ("sram", "stt"):
+            raise ConfigurationError(f"{name} tech must be 'sram' or 'stt', got {tech!r}")
+        num_sets = size_bytes // (assoc * block_size)
+        if num_sets <= 0 or size_bytes != num_sets * assoc * block_size:
+            raise ConfigurationError(
+                f"{name}: size {size_bytes} not divisible into {assoc}-way sets of "
+                f"{block_size}B blocks"
+            )
+        require_pow2(num_sets, f"{name} derived set count")
+
+        if sram_ways is not None:
+            if not 0 < sram_ways < assoc:
+                raise ConfigurationError(
+                    f"{name}: hybrid sram_ways must be in (0, assoc); got {sram_ways} of {assoc}"
+                )
+            way_techs = ["sram"] * sram_ways + ["stt"] * (assoc - sram_ways)
+            self.hybrid = True
+        else:
+            way_techs = [tech] * assoc
+            self.hybrid = False
+
+        self.name = name
+        self.size_bytes = size_bytes
+        self.assoc = assoc
+        self.block_size = block_size
+        self.num_sets = num_sets
+        self.banks = banks
+        self.tech = tech
+        self.sram_ways = sram_ways if sram_ways is not None else (assoc if tech == "sram" else 0)
+        self.replacement = replacement if replacement is not None else LRUPolicy()
+        self._offset_bits = ilog2(block_size)
+        self._index_bits = ilog2(num_sets)
+        self._index_mask = num_sets - 1
+        self._bank_mask = banks - 1
+        self.sets: List[CacheSet] = [CacheSet(i, assoc, way_techs) for i in range(num_sets)]
+        self.stats = CacheStats()
+        self._tick = 0
+        # Optional per-set policy resolver consulted on hit-path touches
+        # (set by inclusion policies so set-dueled replacement schemes
+        # like SRRIP receive their hit promotions). ``None`` entries
+        # fall back to the cache's default replacement.
+        self.touch_policy = None
+
+    # ------------------------------------------------------------------
+    # address slicing
+    # ------------------------------------------------------------------
+    def block_addr(self, addr: int) -> int:
+        """Block-align a byte address."""
+        return addr >> self._offset_bits << self._offset_bits
+
+    def set_index(self, addr: int) -> int:
+        """Set index of a byte address."""
+        return (addr >> self._offset_bits) & self._index_mask
+
+    def tag_of(self, addr: int) -> int:
+        """Tag of a byte address."""
+        return addr >> (self._offset_bits + self._index_bits)
+
+    def bank_of(self, addr: int) -> int:
+        """Bank servicing a byte address (block-interleaved)."""
+        return (addr >> self._offset_bits) & self._bank_mask
+
+    def addr_of(self, set_index: int, tag: int) -> int:
+        """Reconstruct the block address of a (set, tag) pair."""
+        return ((tag << self._index_bits) | set_index) << self._offset_bits
+
+    def _now(self) -> int:
+        self._tick += 1
+        return self._tick
+
+    # ------------------------------------------------------------------
+    # primitive operations
+    # ------------------------------------------------------------------
+    def probe(self, addr: int) -> Optional[CacheBlock]:
+        """Tag-only presence check (no data access, no hit/miss counts).
+
+        Used for LAP's "is there a duplicate copy in the LLC?" check on
+        clean L2 evictions — a pre-existing data path in exclusive
+        caches, hence costed as a tag probe only.
+        """
+        self.stats.tag_probes += 1
+        return self.sets[self.set_index(addr)].find(self.tag_of(addr))
+
+    def peek(self, addr: int) -> Optional[CacheBlock]:
+        """Stat-free lookup for tests, assertions and sampling."""
+        return self.sets[self.set_index(addr)].find(self.tag_of(addr))
+
+    def lookup(self, addr: int, *, is_write: bool = False) -> Optional[CacheBlock]:
+        """Full lookup: tag probe plus data access on hit.
+
+        On a hit, the data array is read (or written, for a store hit),
+        recency metadata is updated via the default replacement policy,
+        and a store hit sets the dirty bit. Returns the block on hit,
+        None on miss.
+        """
+        self.stats.lookups += 1
+        self.stats.tag_probes += 1
+        block = self.sets[self.set_index(addr)].find(self.tag_of(addr))
+        if block is None:
+            self.stats.misses += 1
+            return None
+        self.stats.hits += 1
+        if is_write:
+            self._count_data_write(block.tech)
+            block.dirty = True
+        else:
+            self._count_data_read(block.tech)
+        toucher = self.touch_policy(self.set_index(addr)) if self.touch_policy else None
+        (toucher or self.replacement).on_hit(block, self._now())
+        return block
+
+    def insert(
+        self,
+        addr: int,
+        *,
+        dirty: bool,
+        loop_bit: bool = False,
+        region: Optional[str] = None,
+        policy: Optional[ReplacementPolicy] = None,
+    ) -> Optional[EvictedLine]:
+        """Install a line, evicting a victim if the (region of the) set is full.
+
+        Returns an :class:`EvictedLine` snapshot of the displaced valid
+        block, or None when an invalid way was used. The data-array
+        write is counted against the region the line lands in.
+        """
+        cache_set = self.sets[self.set_index(addr)]
+        candidates = cache_set.region_blocks(region)
+        if not candidates:
+            raise ConfigurationError(
+                f"{self.name}: no ways in region {region!r} (hybrid misconfiguration)"
+            )
+        chooser = policy if policy is not None else self.replacement
+        now = self._now()
+        victim = chooser.victim(candidates, now)
+        evicted = self._capture_eviction(cache_set, victim)
+        cache_set.install(victim, self.tag_of(addr), dirty=dirty, loop_bit=loop_bit, now=now)
+        chooser.on_insert(victim, now)
+        self.stats.insertions += 1
+        self.stats.tag_probes += 1
+        self._count_data_write(victim.tech)
+        return evicted
+
+    def update(self, block: CacheBlock, *, dirty: bool) -> None:
+        """In-place data write to an existing block (e.g. dirty victim
+        merging into an LLC copy)."""
+        block.dirty = block.dirty or dirty
+        block.last_access = self._now()
+        self.stats.tag_probes += 1
+        self._count_data_write(block.tech)
+
+    def invalidate(self, addr: int) -> Optional[EvictedLine]:
+        """Invalidate the line holding ``addr``, if present.
+
+        Returns the dropped line's snapshot (so back-invalidation can
+        propagate dirty data) or None. Counts a tag probe; dropping a
+        line does not touch the data array.
+        """
+        cache_set = self.sets[self.set_index(addr)]
+        self.stats.tag_probes += 1
+        block = cache_set.find(self.tag_of(addr))
+        if block is None:
+            return None
+        snapshot = EvictedLine(
+            addr=self.addr_of(cache_set.index, block.tag),
+            dirty=block.dirty,
+            loop_bit=block.loop_bit,
+            tech=block.tech,
+            state=block.state,
+            reused=block.last_access > block.insert_seq,
+        )
+        cache_set.drop(block)
+        self.stats.invalidations += 1
+        return snapshot
+
+    def evict_block(self, cache_set: CacheSet, block: CacheBlock) -> Optional[EvictedLine]:
+        """Explicitly evict ``block`` from ``cache_set`` (policy layers use
+        this when they choose victims themselves, e.g. Lhybrid migration)."""
+        evicted = self._capture_eviction(cache_set, block)
+        if block.valid:
+            cache_set.drop(block)
+        return evicted
+
+    def read_block(self, block: CacheBlock) -> None:
+        """Count a data-array read of ``block`` (migration source reads)."""
+        self._count_data_read(block.tech)
+
+    def migrate_block(self, cache_set: CacheSet, src: CacheBlock, dst: CacheBlock) -> None:
+        """Move a line between ways of one set (hybrid SRAM↔STT migration).
+
+        Copies ``src``'s identity and metadata into ``dst`` (a free or
+        just-vacated way, typically in the other technology region) and
+        invalidates ``src``. Counts a data read of the source region and
+        a data write of the destination region plus one migration.
+        """
+        if not src.valid:
+            raise ConfigurationError(f"{self.name}: cannot migrate an invalid block")
+        if dst.valid:
+            raise ConfigurationError(f"{self.name}: migration destination must be free")
+        tag, dirty, loop_bit = src.tag, src.dirty, src.loop_bit
+        self._count_data_read(src.tech)
+        cache_set.drop(src)
+        cache_set.install(dst, tag, dirty=dirty, loop_bit=loop_bit, now=self._now())
+        self._count_data_write(dst.tech)
+        self.stats.migrations += 1
+
+    # ------------------------------------------------------------------
+    # occupancy / sampling helpers
+    # ------------------------------------------------------------------
+    def occupancy(self) -> int:
+        """Total valid lines across all sets."""
+        return sum(s.occupancy() for s in self.sets)
+
+    def loop_block_occupancy(self) -> tuple[int, int]:
+        """(valid lines, valid lines with loop_bit set) — Fig. 16 metric."""
+        valid = 0
+        loops = 0
+        for s in self.sets:
+            for b in s.blocks:
+                if b.valid:
+                    valid += 1
+                    if b.loop_bit:
+                        loops += 1
+        return valid, loops
+
+    def resident_addrs(self) -> list[int]:
+        """Block addresses of every valid line (test/diagnostic helper)."""
+        out = []
+        for s in self.sets:
+            for tag in s.tag_map:
+                out.append(self.addr_of(s.index, tag))
+        return out
+
+    def reset_stats(self) -> None:
+        """Zero the stats counters without touching cache contents."""
+        self.stats.reset()
+
+    # ------------------------------------------------------------------
+    # internals
+    # ------------------------------------------------------------------
+    def _capture_eviction(self, cache_set: CacheSet, victim: CacheBlock) -> Optional[EvictedLine]:
+        if not victim.valid:
+            return None
+        self.stats.evictions += 1
+        if victim.dirty:
+            self.stats.dirty_evictions += 1
+        return EvictedLine(
+            addr=self.addr_of(cache_set.index, victim.tag),
+            dirty=victim.dirty,
+            loop_bit=victim.loop_bit,
+            tech=victim.tech,
+            state=victim.state,
+            reused=victim.last_access > victim.insert_seq,
+        )
+
+    def _count_data_read(self, tech: str) -> None:
+        if tech == "sram":
+            self.stats.data_reads_sram += 1
+        else:
+            self.stats.data_reads_stt += 1
+
+    def _count_data_write(self, tech: str) -> None:
+        if tech == "sram":
+            self.stats.data_writes_sram += 1
+        else:
+            self.stats.data_writes_stt += 1
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        kind = "hybrid" if self.hybrid else self.tech
+        return (
+            f"Cache({self.name}, {self.size_bytes}B, {self.assoc}-way, "
+            f"{self.num_sets} sets, {kind})"
+        )

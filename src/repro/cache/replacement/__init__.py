@@ -1,0 +1,26 @@
+"""Replacement policies for the cache substrate.
+
+Exports:
+
+- :class:`ReplacementPolicy` — the abstract interface;
+- :class:`LRUPolicy` / :class:`MRUPolicy` — recency-based selection;
+- :class:`RandomPolicy` — seeded random baseline;
+- :class:`SRRIPPolicy` — static RRIP (Jaleel et al.);
+- :class:`LoopAwarePolicy` — the paper's loop-block-aware selection
+  layered over a pluggable baseline.
+"""
+
+from .base import ReplacementPolicy
+from .loop_aware import LoopAwarePolicy
+from .lru import LRUPolicy, MRUPolicy
+from .random_policy import RandomPolicy
+from .rrip import SRRIPPolicy
+
+__all__ = [
+    "ReplacementPolicy",
+    "LRUPolicy",
+    "MRUPolicy",
+    "RandomPolicy",
+    "SRRIPPolicy",
+    "LoopAwarePolicy",
+]

@@ -1,0 +1,44 @@
+"""Replacement-policy interface.
+
+A replacement policy is stateless with respect to the cache: all
+recency/re-reference metadata lives on the blocks themselves
+(``last_access``, ``rrpv``), so one policy object can serve every set of
+a cache — and, importantly for set-dueling, different sets of the same
+cache can consult *different* policy objects on a per-access basis.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional, Sequence
+
+from ..block import CacheBlock
+
+
+class ReplacementPolicy:
+    """Abstract victim-selection and touch-notification interface."""
+
+    name = "base"
+
+    def on_insert(self, block: CacheBlock, now: int) -> None:
+        """Update per-block metadata when ``block`` is filled."""
+        block.last_access = now
+
+    def on_hit(self, block: CacheBlock, now: int) -> None:
+        """Update per-block metadata when ``block`` is hit."""
+        block.last_access = now
+
+    def victim(self, blocks: Sequence[CacheBlock], now: int) -> CacheBlock:
+        """Choose a victim among ``blocks`` (all ways of one set/region).
+
+        Implementations must prefer invalid blocks; callers rely on
+        this so they never overwrite live data while free ways exist.
+        """
+        raise NotImplementedError
+
+    @staticmethod
+    def first_invalid(blocks: Iterable[CacheBlock]) -> Optional[CacheBlock]:
+        """Return the first invalid block, or None when the set is full."""
+        for block in blocks:
+            if not block.valid:
+                return block
+        return None

@@ -1,0 +1,48 @@
+"""Loop-block-aware victim selection (paper Section III-B).
+
+The loop-block-aware policy layers a priority scheme over any baseline
+recency order:
+
+1. an invalid block, if one exists;
+2. the baseline-victim among *non-loop-blocks* (``loop_bit == 0``);
+3. the baseline-victim among loop-blocks, only when the whole set is
+   loop-blocks.
+
+The paper instantiates this over LRU ("loop-block-aware LRU"); we keep
+the baseline pluggable so it can also wrap SRRIP, matching the paper's
+remark that the principle "can be easily applied to any baseline
+policy".
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from ..block import CacheBlock
+from .base import ReplacementPolicy
+from .lru import LRUPolicy
+
+
+class LoopAwarePolicy(ReplacementPolicy):
+    """Prefer evicting non-loop-blocks, falling back to the baseline."""
+
+    name = "loop-aware"
+
+    def __init__(self, baseline: ReplacementPolicy | None = None) -> None:
+        self.baseline = baseline if baseline is not None else LRUPolicy()
+        self.name = f"loop-aware({self.baseline.name})"
+
+    def on_insert(self, block: CacheBlock, now: int) -> None:
+        self.baseline.on_insert(block, now)
+
+    def on_hit(self, block: CacheBlock, now: int) -> None:
+        self.baseline.on_hit(block, now)
+
+    def victim(self, blocks: Sequence[CacheBlock], now: int) -> CacheBlock:
+        invalid = self.first_invalid(blocks)
+        if invalid is not None:
+            return invalid
+        non_loop = [b for b in blocks if not b.loop_bit]
+        if non_loop:
+            return self.baseline.victim(non_loop, now)
+        return self.baseline.victim(blocks, now)

@@ -1,0 +1,54 @@
+"""Least-recently-used replacement.
+
+Recency is tracked with a monotonically increasing access counter
+(``block.last_access``) supplied by the owning cache, avoiding any
+per-set ordering structures.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from ..block import CacheBlock
+from .base import ReplacementPolicy
+
+
+class LRUPolicy(ReplacementPolicy):
+    """Classic LRU: evict the valid block touched longest ago."""
+
+    name = "lru"
+
+    def victim(self, blocks: Sequence[CacheBlock], now: int) -> CacheBlock:
+        invalid = self.first_invalid(blocks)
+        if invalid is not None:
+            return invalid
+        victim = blocks[0]
+        oldest = victim.last_access
+        for block in blocks:
+            if block.last_access < oldest:
+                victim = block
+                oldest = block.last_access
+        return victim
+
+
+class MRUPolicy(ReplacementPolicy):
+    """Most-recently-used selection.
+
+    Not a sensible general replacement policy, but Lhybrid's placement
+    stage needs "pick the MRU loop-block in SRAM to migrate" (Fig. 11b),
+    and exposing it as a policy keeps that code uniform.
+    """
+
+    name = "mru"
+
+    def victim(self, blocks: Sequence[CacheBlock], now: int) -> CacheBlock:
+        invalid = self.first_invalid(blocks)
+        if invalid is not None:
+            return invalid
+        victim = blocks[0]
+        newest = victim.last_access
+        for block in blocks:
+            if block.last_access > newest:
+                victim = block
+                newest = block.last_access
+        return victim

@@ -1,0 +1,29 @@
+"""Seeded pseudo-random replacement.
+
+Used as a cheap baseline in substrate tests and as a tie-breaking
+fallback; all randomness flows through an explicit :class:`random.Random`
+instance so simulations stay reproducible.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Sequence
+
+from ..block import CacheBlock
+from .base import ReplacementPolicy
+
+
+class RandomPolicy(ReplacementPolicy):
+    """Evict a uniformly random valid block (invalid ways first)."""
+
+    name = "random"
+
+    def __init__(self, seed: int = 0) -> None:
+        self._rng = random.Random(seed)
+
+    def victim(self, blocks: Sequence[CacheBlock], now: int) -> CacheBlock:
+        invalid = self.first_invalid(blocks)
+        if invalid is not None:
+            return invalid
+        return blocks[self._rng.randrange(len(blocks))]

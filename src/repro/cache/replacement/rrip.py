@@ -1,0 +1,50 @@
+"""Static re-reference interval prediction (SRRIP) replacement.
+
+Implements SRRIP-HP (hit priority) from Jaleel et al., ISCA 2010 — the
+paper's Section IV notes that the Lhybrid placement principle composes
+with RRIP, so the substrate provides it as an alternative baseline
+replacement policy and tests exercise LAP on top of it.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from ..block import CacheBlock
+from .base import ReplacementPolicy
+
+
+class SRRIPPolicy(ReplacementPolicy):
+    """SRRIP with ``m``-bit re-reference prediction values (RRPV).
+
+    New blocks are inserted with a *long* re-reference prediction
+    (``max_rrpv - 1``); hits promote to 0; victims are blocks with the
+    *distant* prediction (``max_rrpv``), aging the whole set until one
+    appears.
+    """
+
+    name = "srrip"
+
+    def __init__(self, bits: int = 2) -> None:
+        if bits < 1:
+            raise ValueError(f"SRRIP needs at least 1 RRPV bit, got {bits}")
+        self.max_rrpv = (1 << bits) - 1
+
+    def on_insert(self, block: CacheBlock, now: int) -> None:
+        block.last_access = now
+        block.rrpv = self.max_rrpv - 1
+
+    def on_hit(self, block: CacheBlock, now: int) -> None:
+        block.last_access = now
+        block.rrpv = 0
+
+    def victim(self, blocks: Sequence[CacheBlock], now: int) -> CacheBlock:
+        invalid = self.first_invalid(blocks)
+        if invalid is not None:
+            return invalid
+        while True:
+            for block in blocks:
+                if block.rrpv >= self.max_rrpv:
+                    return block
+            for block in blocks:
+                block.rrpv += 1

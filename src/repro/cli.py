@@ -1,0 +1,351 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+``list``
+    Enumerate registered policies, workloads, and technologies.
+``run``
+    Simulate one (workload, policy) pair and print the metric summary.
+``compare``
+    Run several policies against bit-identical traces and print a
+    normalised comparison table.
+``characterize``
+    Measure the Section II workload characteristics (loop-block
+    fraction, redundant fills, WL/WH class) for named benchmarks.
+``figure``
+    Regenerate one of the paper's figures by id (e.g. ``fig14``).
+``report``
+    Assemble a markdown experiment record from the benchmark harness's
+    result files (``benchmarks/results``).
+``validate-workloads``
+    Re-measure every synthetic benchmark's declared traits.
+``sweep``
+    Run a workloads x policies grid on one system and export CSV.
+
+Every command accepts ``--refs``, ``--seed`` and system-shape flags so
+sweeps can be scripted from the shell; all output is plain ASCII.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import Optional, Sequence
+
+from . import make_workload, simulate
+from .analysis import classify_wl_wh, favors_exclusion, render_mapping_table, render_table
+from .core.policies import policy_names
+from .energy import SRAM, STT_RAM
+from .errors import ReproError
+from .sim import SystemConfig
+from .workloads import PARSEC_ORDER, TABLE3_ORDER, benchmark_names
+
+FIGURES = {
+    "fig2": "fig2_motivation",
+    "fig4": "fig4_loop_blocks",
+    "fig6": "fig6_redundant_fill",
+    "fig12": "fig12_noni_vs_ex",
+    "fig13": "fig13_scatter",
+    "fig14": "fig14_policy_comparison",
+    "fig15": "fig15_write_breakdown",
+    "fig16": "fig16_loop_occupancy",
+    "fig17": "fig17_redundant_fill_mixes",
+    "fig18": "fig18_mpki",
+    "fig19": "fig19_lap_variants",
+    "fig20": "fig20_multithreaded",
+    "fig21": "fig21_capacity_ratio",
+    "fig22": "fig22_core_count",
+    "fig23": "fig23_energy_ratio",
+    "fig24": "fig24_hybrid",
+    "fig25": "fig25_lhybrid_stages",
+}
+
+
+def _add_system_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--tech", choices=("stt", "sram"), default="stt",
+                        help="LLC technology (default: stt)")
+    parser.add_argument("--ratio", type=float, default=None,
+                        help="override the STT write/read energy ratio")
+    parser.add_argument("--hybrid", action="store_true",
+                        help="hybrid SRAM/STT-RAM LLC (Table II split)")
+    parser.add_argument("--ncores", type=int, default=4)
+    parser.add_argument("--llc-kb", type=int, default=128)
+    parser.add_argument("--l2-kb", type=int, default=8)
+    parser.add_argument("--refs", type=int, default=20_000,
+                        help="memory references per core (default: 20000)")
+    parser.add_argument("--seed", type=int, default=0)
+
+
+def _system_from(args: argparse.Namespace) -> SystemConfig:
+    tech = SRAM if args.tech == "sram" else STT_RAM
+    if args.ratio is not None:
+        if args.tech == "sram":
+            raise ReproError("--ratio only applies to the STT technology")
+        tech = STT_RAM.with_write_read_ratio(args.ratio)
+    return SystemConfig.scaled(
+        ncores=args.ncores,
+        tech=tech,
+        hybrid=args.hybrid,
+        llc_kb=args.llc_kb,
+        l2_kb=args.l2_kb,
+    )
+
+
+def _cmd_list(args: argparse.Namespace) -> int:
+    print(render_table("policies", ["name"], [[p] for p in sorted(set(policy_names()))]))
+    print()
+    rows = (
+        [[m, "Table III mix"] for m in TABLE3_ORDER]
+        + [[b, "SPEC-like benchmark (duplicate copies)"] for b in benchmark_names()]
+        + [[p, "PARSEC-like multithreaded workload"] for p in PARSEC_ORDER]
+    )
+    print(render_table("workloads", ["name", "kind"], rows))
+    print()
+    rows = [
+        ["sram", SRAM.read_energy_nj, SRAM.write_energy_nj, SRAM.leakage_mw_per_mb],
+        ["stt", STT_RAM.read_energy_nj, STT_RAM.write_energy_nj, STT_RAM.leakage_mw_per_mb],
+    ]
+    print(render_table("technologies", ["name", "read nJ", "write nJ", "leak mW/MB"], rows))
+    return 0
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    system = _system_from(args)
+    workload = make_workload(args.workload, system, seed=args.seed)
+    result = simulate(system, args.policy, workload, refs_per_core=args.refs)
+    summary = result.summary()
+    summary["snoop_traffic"] = float(result.snoop_traffic)
+    summary["cycles"] = float(result.cycles)
+    if args.json:
+        print(json.dumps({"workload": args.workload, "policy": args.policy, **summary}, indent=2))
+    else:
+        print(render_table(
+            f"{args.workload} under {args.policy} on {system.label}",
+            ["metric", "value"],
+            [[k, v] for k, v in summary.items()],
+        ))
+    return 0
+
+
+def _cmd_compare(args: argparse.Namespace) -> int:
+    system = _system_from(args)
+    policies = args.policies.split(",")
+    results = {}
+    for policy in policies:
+        workload = make_workload(args.workload, system, seed=args.seed)
+        results[policy] = simulate(system, policy, workload, refs_per_core=args.refs)
+    baseline = results[policies[0]]
+    rows = {}
+    for policy, r in results.items():
+        rows[policy] = {
+            "epi": r.epi / baseline.epi,
+            "dynamic_epi": r.dynamic_epi / max(1e-30, baseline.dynamic_epi),
+            "llc_writes": r.llc_writes / max(1, baseline.llc_writes),
+            "mpki": r.mpki / max(1e-30, baseline.mpki),
+            "throughput": r.throughput / max(1e-30, baseline.throughput),
+        }
+    print(render_mapping_table(
+        f"{args.workload} on {system.label} (normalised to {policies[0]})",
+        rows,
+        row_label="policy",
+    ))
+    return 0
+
+
+def _cmd_characterize(args: argparse.Namespace) -> int:
+    system = _system_from(args)
+    rows = []
+    benches = args.benchmarks or list(benchmark_names())
+    for bench in benches:
+        runs = {}
+        for policy in ("non-inclusive", "exclusive"):
+            workload = make_workload(bench, system, seed=args.seed)
+            runs[policy] = simulate(system, policy, workload, refs_per_core=args.refs)
+        noni, ex = runs["non-inclusive"], runs["exclusive"]
+        rows.append([
+            bench,
+            noni.loop_block_fraction,
+            noni.redundant_fill_fraction,
+            ex.llc_misses / max(1, noni.llc_misses),
+            ex.llc_writes / max(1, noni.llc_writes),
+            classify_wl_wh(noni, ex),
+            "exclusive" if favors_exclusion(noni, ex) else "non-inclusive",
+        ])
+    print(render_table(
+        "workload characterisation (paper Figs. 2/4/6)",
+        ["benchmark", "loop_frac", "redundant_fill", "Mrel", "Wrel", "class", "favours"],
+        rows,
+    ))
+    return 0
+
+
+def _cmd_figure(args: argparse.Namespace) -> int:
+    from .analysis import figures as F
+
+    name = args.name.lower()
+    if name not in FIGURES:
+        raise ReproError(f"unknown figure {args.name!r}; known: {sorted(FIGURES)}")
+    fn = getattr(F, FIGURES[name])
+    out = fn(refs=args.refs)
+    blocks = out if isinstance(out, tuple) else (out,)
+    for i, rows in enumerate(blocks):
+        if not rows:
+            continue
+        print(render_mapping_table(f"{name} [{i}]", rows, row_label="row"))
+        print()
+    return 0
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    from .analysis.report import assemble_report, missing_results
+
+    text = assemble_report(args.results_dir)
+    if args.output:
+        import pathlib
+
+        pathlib.Path(args.output).write_text(text)
+        print(f"report written to {args.output}")
+    else:
+        print(text)
+    missing = missing_results(args.results_dir)
+    if missing:
+        print(f"\nnote: {len(missing)} experiments not yet regenerated: "
+              f"{', '.join(missing)}", file=sys.stderr)
+    return 0
+
+
+def _cmd_validate_workloads(args: argparse.Namespace) -> int:
+    from .workloads.validation import validate_all, violations
+
+    system = _system_from(args)
+    reports = validate_all(system, refs=args.refs)
+    rows = [
+        [
+            r.benchmark,
+            r.loop_fraction,
+            r.redundant_fill_fraction,
+            r.mrel,
+            r.wrel,
+            "; ".join(r.violations) or "ok",
+        ]
+        for r in reports.values()
+    ]
+    print(render_table(
+        "workload-model validation against declared traits",
+        ["benchmark", "loop_frac", "redundant_fill", "Mrel", "Wrel", "verdict"],
+        rows,
+    ))
+    bad = violations(reports)
+    if bad:
+        print(f"\n{len(bad)} benchmark(s) violate their declared traits",
+              file=sys.stderr)
+        return 1
+    return 0
+
+
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    from .sim.runner import duplicate_builder, mix_builder, multithreaded_builder
+    from .sim.sweeps import Sweep, records_to_csv
+    from .workloads.mixes import TABLE3_MIXES
+    from .workloads.parsec import PARSEC_BENCHMARKS
+
+    system = _system_from(args)
+    builders = {}
+    for name in args.workloads.split(","):
+        if name in TABLE3_MIXES:
+            builders[name] = mix_builder(name, seed=args.seed)
+        elif name in PARSEC_BENCHMARKS:
+            builders[name] = multithreaded_builder(
+                name, nthreads=system.hierarchy.ncores, seed=args.seed
+            )
+        else:
+            builders[name] = duplicate_builder(
+                name, ncores=system.hierarchy.ncores, seed=args.seed
+            )
+    sweep = Sweep(
+        systems={system.label: system},
+        workloads=builders,
+        policies=tuple(args.policies.split(",")),
+        refs_per_core=args.refs,
+    )
+    print(f"running {sweep.size()} simulations ...", file=sys.stderr)
+    records = sweep.run(
+        progress=lambda r: print(f"  {r.workload} / {r.policy} done", file=sys.stderr)
+    )
+    text = records_to_csv(records, args.output)
+    if args.output:
+        print(f"CSV written to {args.output}")
+    else:
+        print(text, end="")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="LAP (ISCA 2016) reproduction — simulate inclusion "
+        "policies on asymmetric LLCs",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("list", help="list policies, workloads, technologies")
+    p.set_defaults(fn=_cmd_list)
+
+    p = sub.add_parser("run", help="simulate one workload under one policy")
+    p.add_argument("workload")
+    p.add_argument("policy")
+    p.add_argument("--json", action="store_true", help="machine-readable output")
+    _add_system_args(p)
+    p.set_defaults(fn=_cmd_run)
+
+    p = sub.add_parser("compare", help="compare policies on identical traces")
+    p.add_argument("workload")
+    p.add_argument("--policies", default="non-inclusive,exclusive,dswitch,lap")
+    _add_system_args(p)
+    p.set_defaults(fn=_cmd_compare)
+
+    p = sub.add_parser("characterize", help="measure loop/redundant-fill traits")
+    p.add_argument("benchmarks", nargs="*", help="default: all 13 SPEC-like")
+    _add_system_args(p)
+    p.set_defaults(fn=_cmd_characterize)
+
+    p = sub.add_parser("figure", help="regenerate one paper figure (e.g. fig14)")
+    p.add_argument("name")
+    p.add_argument("--refs", type=int, default=10_000)
+    p.set_defaults(fn=_cmd_figure)
+
+    p = sub.add_parser("report", help="assemble EXPERIMENTS-style markdown record")
+    p.add_argument("--results-dir", default="benchmarks/results")
+    p.add_argument("--output", default=None, help="write to a file instead of stdout")
+    p.set_defaults(fn=_cmd_report)
+
+    p = sub.add_parser("validate-workloads",
+                       help="re-measure every benchmark's declared traits")
+    _add_system_args(p)
+    p.set_defaults(fn=_cmd_validate_workloads)
+
+    p = sub.add_parser("sweep", help="workloads x policies grid with CSV export")
+    p.add_argument("--workloads", default="WL2,WH1",
+                   help="comma-separated mixes/benchmarks (default: WL2,WH1)")
+    p.add_argument("--policies", default="non-inclusive,exclusive,lap")
+    p.add_argument("--output", default=None, help="CSV output path (default: stdout)")
+    _add_system_args(p)
+    p.set_defaults(fn=_cmd_sweep)
+
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """Entry point; returns a process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.fn(args)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,29 @@
+"""The paper's contribution: LAP, Lhybrid, loop-block machinery."""
+
+from .lap import LAPPolicy, REPLACEMENT_MODES
+from .lhybrid import LhybridPolicy
+from .loop_bits import LoopBlockTracker
+from .overheads import LAPOverheads, lap_overheads
+from .policies import (
+    HOMOGENEOUS_POLICIES,
+    HYBRID_POLICIES,
+    LAP_VARIANTS,
+    LHYBRID_STAGES,
+    make_policy,
+    policy_names,
+)
+
+__all__ = [
+    "LAPPolicy",
+    "LhybridPolicy",
+    "LoopBlockTracker",
+    "LAPOverheads",
+    "lap_overheads",
+    "REPLACEMENT_MODES",
+    "make_policy",
+    "policy_names",
+    "HOMOGENEOUS_POLICIES",
+    "HYBRID_POLICIES",
+    "LAP_VARIANTS",
+    "LHYBRID_STAGES",
+]

@@ -1,0 +1,69 @@
+"""Hardware-overhead accounting (paper Section III-D).
+
+The paper argues LAP's cost is negligible: "one loop-bit per L2 and L3
+cache block, ... two miss counters for the entire cache and a simple
+comparator", with all data flows reusing pre-existing paths. This module
+computes those overheads for any hierarchy configuration so the claim
+can be checked quantitatively (the benchmark harness prints it next to
+Table II).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..hierarchy.config import HierarchyConfig
+
+MISS_COUNTER_BITS = 32  # two per dueling controller (paper: "two miss counters")
+PSEL_COMPARATOR = 1  # the "simple comparator"
+
+
+@dataclass(frozen=True)
+class LAPOverheads:
+    """Storage added by LAP over the baseline hierarchy."""
+
+    l2_loop_bits: int
+    llc_loop_bits: int
+    counter_bits: int
+    data_bits: int  # total data-array bits, for the relative view
+
+    @property
+    def total_bits(self) -> int:
+        return self.l2_loop_bits + self.llc_loop_bits + self.counter_bits
+
+    @property
+    def total_bytes(self) -> float:
+        return self.total_bits / 8
+
+    @property
+    def relative_overhead(self) -> float:
+        """Added bits as a fraction of data-array capacity."""
+        return self.total_bits / self.data_bits
+
+    def summary_rows(self) -> list:
+        """Rows for the harness's overhead table."""
+        return [
+            ["L2 loop-bits", self.l2_loop_bits],
+            ["LLC loop-bits", self.llc_loop_bits],
+            ["dueling counters (bits)", self.counter_bits],
+            ["total (bytes)", self.total_bytes],
+            ["relative to data capacity", f"{self.relative_overhead:.6%}"],
+        ]
+
+
+def lap_overheads(config: HierarchyConfig) -> LAPOverheads:
+    """Compute LAP's storage overhead for a hierarchy configuration.
+
+    One loop-bit per L2 block (every core) and per LLC block, plus one
+    pair of 32-bit miss counters for the replacement duel. (Lhybrid
+    adds no storage: placement reuses the same loop-bits.)
+    """
+    block = config.block_size
+    l2_blocks = config.ncores * (config.l2.size_bytes // block)
+    llc_blocks = config.llc.size_bytes // block
+    return LAPOverheads(
+        l2_loop_bits=l2_blocks,
+        llc_loop_bits=llc_blocks,
+        counter_bits=2 * MISS_COUNTER_BITS,
+        data_bits=(config.ncores * config.l2.size_bytes + config.llc.size_bytes) * 8,
+    )

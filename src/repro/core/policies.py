@@ -1,0 +1,80 @@
+"""Policy registry: every Table IV policy by name.
+
+Central factory used by the experiment runner, the benchmark harness,
+and the examples. Names accepted (paper's Table IV plus the Fig. 25
+ablation stages):
+
+=====================  ====================================================
+``non-inclusive``      baseline inclusion property (alias ``noni``)
+``exclusive``          exclusive policy (alias ``ex``)
+``inclusive``          strictly inclusive LLC (not in Table IV; Fig. 1a)
+``flexclusion``        capacity/bandwidth-driven dynamic switching
+``dswitch``            write-aware dynamic switching
+``lap``                full LAP with set-dueling replacement
+``lap-lru``            LAP forced to LRU replacement
+``lap-loop``           LAP forced to loop-aware replacement
+``lhybrid``            LAP + all three hybrid placement stages
+``lap+winv``           Fig. 25 stage: write-hit invalidation only
+``lap+loopstt``        Fig. 25 stage: loop-blocks to STT-RAM only
+``lap+nloopsram``      Fig. 25 stage: non-loop-blocks to SRAM only
+=====================  ====================================================
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict
+
+from ..errors import ConfigurationError
+from ..inclusion.switching import DswitchPolicy, FLEXclusionPolicy
+from ..inclusion.traditional import ExclusivePolicy, InclusivePolicy, NonInclusivePolicy
+from .deadwrite import DeadWriteBypassExclusive, DeadWriteBypassLAP
+from .lap import LAPPolicy
+from .lhybrid import LhybridPolicy
+
+_FACTORIES: Dict[str, Callable[..., object]] = {
+    "non-inclusive": NonInclusivePolicy,
+    "noni": NonInclusivePolicy,
+    "exclusive": ExclusivePolicy,
+    "ex": ExclusivePolicy,
+    "inclusive": InclusivePolicy,
+    "flexclusion": FLEXclusionPolicy,
+    "dswitch": DswitchPolicy,
+    "lap": lambda **kw: LAPPolicy(replacement_mode="duel", **kw),
+    "lap-lru": lambda **kw: LAPPolicy(replacement_mode="lru", **kw),
+    "lap-loop": lambda **kw: LAPPolicy(replacement_mode="loop", **kw),
+    "lhybrid": lambda **kw: LhybridPolicy(winv=True, loop_stt=True, nloop_sram=True, **kw),
+    "lap+winv": lambda **kw: LhybridPolicy(winv=True, loop_stt=False, nloop_sram=False, **kw),
+    "lap+loopstt": lambda **kw: LhybridPolicy(winv=False, loop_stt=True, nloop_sram=False, **kw),
+    "lap+nloopsram": lambda **kw: LhybridPolicy(winv=False, loop_stt=False, nloop_sram=True, **kw),
+    "lap-rrip": lambda **kw: LAPPolicy(replacement_mode="duel", baseline="srrip", **kw),
+    "lap+dwb": DeadWriteBypassLAP,
+    "exclusive+dwb": lambda **kw: DeadWriteBypassExclusive(),
+}
+
+# The evaluated-policy sets used throughout Section VI.
+HOMOGENEOUS_POLICIES = ("non-inclusive", "exclusive", "flexclusion", "dswitch", "lap")
+LAP_VARIANTS = ("lap-lru", "lap-loop", "lap")
+HYBRID_POLICIES = ("non-inclusive", "exclusive", "flexclusion", "dswitch", "lap", "lhybrid")
+LHYBRID_STAGES = ("lap", "lap+winv", "lap+loopstt", "lap+nloopsram", "lhybrid")
+
+
+def policy_names() -> tuple:
+    """Canonical (unaliased) registry names."""
+    return tuple(
+        name for name in _FACTORIES if name not in ("noni", "ex")
+    )
+
+
+def make_policy(name: str, **kwargs):
+    """Instantiate a fresh inclusion policy by registry name.
+
+    Keyword arguments are forwarded to the policy constructor (e.g.
+    ``duel_interval=...`` for the dueling policies).
+    """
+    try:
+        factory = _FACTORIES[name]
+    except KeyError:
+        raise ConfigurationError(
+            f"unknown policy {name!r}; known: {sorted(set(policy_names()))}"
+        )
+    return factory(**kwargs)

@@ -1,0 +1,41 @@
+"""Energy modelling: Table I technologies, EPI accounting, Fig. 23 scaling."""
+
+from .model import (
+    DEFAULT_CLOCK_HZ,
+    DEFAULT_LEAKAGE_COMPENSATION,
+    EnergyResult,
+    LLCEnergyModel,
+)
+from .technology import (
+    L3_TAG,
+    MB,
+    PUBLISHED_CONFIGS,
+    RAW_TABLE1,
+    SRAM,
+    STT_RAM,
+    PublishedConfig,
+    TagParams,
+    TechnologyParams,
+    iso_area_capacity,
+    pow2_floor,
+    technology_by_name,
+)
+
+__all__ = [
+    "EnergyResult",
+    "LLCEnergyModel",
+    "DEFAULT_CLOCK_HZ",
+    "DEFAULT_LEAKAGE_COMPENSATION",
+    "TechnologyParams",
+    "TagParams",
+    "PublishedConfig",
+    "PUBLISHED_CONFIGS",
+    "RAW_TABLE1",
+    "SRAM",
+    "STT_RAM",
+    "L3_TAG",
+    "MB",
+    "technology_by_name",
+    "iso_area_capacity",
+    "pow2_floor",
+]

@@ -1,0 +1,25 @@
+"""Three-level hierarchy engine: config, timing, coherence, orchestration."""
+
+from .config import (
+    HierarchyConfig,
+    LevelConfig,
+    LLCLevelConfig,
+    scaled_config,
+    table2_config,
+)
+from .coherence import CoherenceController
+from .hierarchy import CacheHierarchy, HierarchyStats
+from .timing import BankModel, TimingModel
+
+__all__ = [
+    "LevelConfig",
+    "LLCLevelConfig",
+    "HierarchyConfig",
+    "table2_config",
+    "scaled_config",
+    "CacheHierarchy",
+    "HierarchyStats",
+    "CoherenceController",
+    "TimingModel",
+    "BankModel",
+]

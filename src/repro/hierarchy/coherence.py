@@ -1,0 +1,140 @@
+"""MOESI-style snooping coherence for multithreaded workloads (Fig. 20).
+
+Coherence acts at the private-cache level: every L2 block carries a
+MOESI state, and L1s are kept inclusive within their core's L2 so an
+L2-level invalidation suffices. The shared LLC is *not* a coherence
+point — matching the paper's snooping-bus baseline — and the modelled
+protocol maintains one simplifying invariant:
+
+    while any core holds a block dirty (M or O), the LLC holds no copy
+    of it (the first store to a clean block invalidates any LLC
+    duplicate).
+
+This keeps every LLC hit safe to consume without a snoop, so snoop
+broadcasts happen exactly on LLC misses and on write upgrades — which
+reproduces the paper's observation that snoop traffic tracks LLC misses
+(exclusion ≈ 38 % less traffic than non-inclusion in Fig. 20c).
+
+Traffic accounting (Fig. 20c): one ``snoop_broadcast`` per bus
+transaction that probes peers, one ``invalidation_message`` per peer
+copy killed, one ``cache_to_cache`` per peer-supplied fill.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from ..cache.block import (
+    STATE_EXCLUSIVE,
+    STATE_MODIFIED,
+    STATE_OWNED,
+    STATE_SHARED,
+)
+from ..cache.stats import CoherenceStats
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from .hierarchy import CacheHierarchy
+
+
+class CoherenceController:
+    """Bus-snooping MOESI controller over the per-core L2s."""
+
+    def __init__(self, hierarchy: "CacheHierarchy") -> None:
+        self.h = hierarchy
+        self.stats = CoherenceStats()
+
+    # ------------------------------------------------------------------
+    # miss-path hooks
+    # ------------------------------------------------------------------
+    def on_l2_miss(self, core: int, addr: int, is_write: bool, llc_hit: bool) -> bool:
+        """Handle the bus side of an L2 miss.
+
+        Returns True when a peer cache supplied the line (so main
+        memory need not be read).
+        """
+        if llc_hit:
+            if is_write:
+                # Read-for-ownership served by the LLC still must kill
+                # peer copies before the store retires.
+                self._broadcast_invalidate(core, addr)
+            else:
+                # A new sharer appeared: peers holding the line
+                # exclusively must downgrade (the LLC-hit copy is clean
+                # by the no-stale-LLC invariant, so E→S is the only
+                # possible transition).
+                for peer in self._holders(core, addr):
+                    block = self.h.l2s[peer].peek(addr)
+                    if block is not None and block.state == STATE_EXCLUSIVE:
+                        block.state = STATE_SHARED
+            return False
+
+        # LLC miss: snoop the bus.
+        self.stats.snoop_broadcasts += 1
+        holders = self._holders(core, addr)
+        supplied = bool(holders)
+        if supplied:
+            self.stats.cache_to_cache += 1
+        if is_write:
+            for peer in holders:
+                self._invalidate_peer(peer, addr)
+        elif holders:
+            # A read: the (single possible) owner downgrades but keeps
+            # ownership of the dirty data; clean holders share.
+            for peer in holders:
+                block = self.h.l2s[peer].peek(addr)
+                if block is None:
+                    continue
+                if block.state == STATE_MODIFIED:
+                    block.state = STATE_OWNED
+                elif block.state == STATE_EXCLUSIVE:
+                    block.state = STATE_SHARED
+        return supplied
+
+    def fill_state(self, core: int, addr: int, is_write: bool) -> str:
+        """MOESI state for the line being filled into ``core``'s L2."""
+        if is_write:
+            return STATE_MODIFIED
+        return STATE_SHARED if self._holders(core, addr) else STATE_EXCLUSIVE
+
+    # ------------------------------------------------------------------
+    # store-path hook
+    # ------------------------------------------------------------------
+    def on_store(self, core: int, addr: int) -> None:
+        """A store is retiring into a block ``core`` already holds."""
+        block = self.h.l2s[core].peek(addr)
+        if block is None:  # pragma: no cover - hierarchy guarantees presence
+            return
+        if block.state in (STATE_SHARED, STATE_OWNED):
+            self.stats.upgrades += 1
+            self._broadcast_invalidate(core, addr)
+        block.state = STATE_MODIFIED
+        # Maintain the no-stale-LLC invariant: the LLC duplicate (if
+        # any) is now stale and must go.
+        if self.h.llc.peek(addr) is not None:
+            self.h.llc.invalidate(addr)
+            self.h.note_llc_evict(addr)
+
+    # ------------------------------------------------------------------
+    # internals
+    # ------------------------------------------------------------------
+    def _holders(self, core: int, addr: int) -> list:
+        return [
+            peer
+            for peer in range(self.h.config.ncores)
+            if peer != core and self.h.l2s[peer].peek(addr) is not None
+        ]
+
+    def _broadcast_invalidate(self, core: int, addr: int) -> None:
+        self.stats.snoop_broadcasts += 1
+        for peer in self._holders(core, addr):
+            self._invalidate_peer(peer, addr)
+
+    def _invalidate_peer(self, peer: int, addr: int) -> None:
+        """Kill a peer's copy (L2 and, by inclusion, L1)."""
+        self.stats.invalidation_messages += 1
+        self.h.l1s[peer].invalidate(addr)
+        line = self.h.l2s[peer].invalidate(addr)
+        if line is not None:
+            # The requester's copy now carries the latest data; the
+            # tracker just sees the block leave this L2.
+            self.h.loop_tracker.on_l2_evict(line.addr, line.dirty)

@@ -1,0 +1,299 @@
+"""The three-level cache hierarchy engine.
+
+:class:`CacheHierarchy` wires per-core L1/L2 caches, the shared LLC,
+the timing model, the always-on loop-block instrumentation, optional
+MOESI coherence, and one bound :class:`~repro.inclusion.base.
+InclusionPolicy`. It implements the mechanics every policy shares —
+L1⊆L2 inclusion within a core, write-back dirtiness propagation, L2
+victim extraction — and defers every L2↔LLC decision to the policy
+(the paper's Fig. 8 decision table).
+
+Level roles follow the paper's footnote 1: the L2 is non-inclusive with
+respect to the LLC by default; the studied inclusion property is the
+one between L2 and L3. Within a core we keep L1 ⊆ L2 so that coherence
+and back-invalidation act at L2 granularity only.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, fields
+from typing import List, Optional, Set
+
+from ..cache import Cache, EvictedLine
+from ..cache.replacement import LRUPolicy
+from ..core.loop_bits import LoopBlockTracker
+from ..errors import SimulationError
+from ..inclusion.base import InclusionPolicy
+from .config import HierarchyConfig
+from .coherence import CoherenceController
+from .timing import TimingModel
+
+
+@dataclass
+class HierarchyStats:
+    """Cross-level counters not owned by any single cache."""
+
+    accesses: int = 0
+    stores: int = 0
+    l1_hits: int = 0
+    l2_hits: int = 0
+    llc_demand_accesses: int = 0
+    llc_demand_hits: int = 0
+    l2_clean_victims: int = 0
+    l2_dirty_victims: int = 0
+    mem_reads: int = 0
+    mem_writes: int = 0
+
+    def snapshot(self) -> dict:
+        """Plain-dict copy for reporting."""
+        return {f.name: getattr(self, f.name) for f in fields(self)}
+
+
+class CacheHierarchy:
+    """Private L1/L2 per core + shared LLC under one inclusion policy."""
+
+    def __init__(
+        self,
+        config: HierarchyConfig,
+        policy: InclusionPolicy,
+        enable_coherence: bool = False,
+        occupancy_sample_interval: int = 0,
+    ) -> None:
+        self.config = config
+        self.policy = policy
+        block = config.block_size
+        self.l1s: List[Cache] = [
+            Cache(
+                f"L1-{c}",
+                config.l1.size_bytes,
+                config.l1.assoc,
+                block,
+                replacement=LRUPolicy(),
+                tech="sram",
+            )
+            for c in range(config.ncores)
+        ]
+        self.l2s: List[Cache] = [
+            Cache(
+                f"L2-{c}",
+                config.l2.size_bytes,
+                config.l2.assoc,
+                block,
+                replacement=LRUPolicy(),
+                tech="sram",
+            )
+            for c in range(config.ncores)
+        ]
+        llc_cfg = config.llc
+        self.llc = Cache(
+            "L3",
+            llc_cfg.size_bytes,
+            llc_cfg.assoc,
+            block,
+            replacement=LRUPolicy(),
+            tech="sram" if llc_cfg.tech.name.startswith("sram") else "stt",
+            sram_ways=llc_cfg.sram_ways,
+            banks=llc_cfg.banks,
+        )
+        self.timing = TimingModel(config)
+        self.stats = HierarchyStats()
+        self.loop_tracker = LoopBlockTracker()
+        self.coherence: Optional[CoherenceController] = (
+            CoherenceController(self) if enable_coherence else None
+        )
+        self._fresh_fills: Set[int] = set()
+        self._occupancy_interval = occupancy_sample_interval
+        self._since_sample = 0
+        policy.bind(self)
+
+    # ------------------------------------------------------------------
+    # the access path
+    # ------------------------------------------------------------------
+    def access(self, core: int, addr: int, is_write: bool) -> None:
+        """Process one memory reference from ``core``."""
+        addr = self.llc.block_addr(int(addr))
+        self.stats.accesses += 1
+        if is_write:
+            self.stats.stores += 1
+
+        l1 = self.l1s[core]
+        hit1 = l1.lookup(addr, is_write=is_write)
+        if hit1 is not None:
+            self.stats.l1_hits += 1
+            self.timing.l1_hit(core)
+            if is_write:
+                self._propagate_store(core, addr)
+            self._maybe_sample()
+            return
+
+        l2 = self.l2s[core]
+        hit2 = l2.lookup(addr, is_write=False)
+        if hit2 is not None:
+            self.stats.l2_hits += 1
+            self.timing.l2_hit(core)
+            self._fill_l1(core, addr, dirty=is_write)
+            if is_write:
+                self._propagate_store(core, addr)
+            self._maybe_sample()
+            return
+
+        # ---- L2 miss: the inclusion policy owns the LLC interaction.
+        self.stats.llc_demand_accesses += 1
+        outcome = self.policy.llc_access(core, addr, is_write)
+        if outcome.hit:
+            self.stats.llc_demand_hits += 1
+        supplied = False
+        if self.coherence is not None:
+            supplied = self.coherence.on_l2_miss(core, addr, is_write, outcome.hit)
+        if not outcome.hit and not supplied:
+            self.stats.mem_reads += 1
+            self.timing.memory_access(core)
+
+        loop_bit = self.policy.l2_fill_loop_bit(outcome.hit)
+        self._fill_l2(core, addr, loop_bit=loop_bit, is_write=is_write)
+        self.loop_tracker.on_l2_fill(addr, from_llc=outcome.hit)
+        self._fill_l1(core, addr, dirty=is_write)
+        if is_write:
+            self._propagate_store(core, addr)
+        self._maybe_sample()
+
+    # ------------------------------------------------------------------
+    # fills and writebacks
+    # ------------------------------------------------------------------
+    def _fill_l1(self, core: int, addr: int, dirty: bool) -> None:
+        """Fill the L1; victims need no writeback because dirtiness is
+        propagated to the L2 copy at store time (L1 ⊆ L2)."""
+        self.l1s[core].insert(addr, dirty=dirty)
+
+    def _fill_l2(self, core: int, addr: int, loop_bit: bool, is_write: bool) -> None:
+        l2 = self.l2s[core]
+        evicted = l2.insert(addr, dirty=False, loop_bit=loop_bit)
+        if self.coherence is not None:
+            block = l2.peek(addr)
+            block.state = self.coherence.fill_state(core, addr, is_write)
+        if evicted is not None:
+            self._handle_l2_victim(core, evicted)
+
+    def _handle_l2_victim(self, core: int, line: EvictedLine) -> None:
+        # Enforce L1 ⊆ L2: kill the upper copy (its dirtiness already
+        # lives in the L2 line thanks to store propagation).
+        self.l1s[core].invalidate(line.addr)
+        if line.dirty:
+            self.stats.l2_dirty_victims += 1
+        else:
+            self.stats.l2_clean_victims += 1
+        self.loop_tracker.on_l2_evict(line.addr, line.dirty)
+        self.policy.l2_victim(core, line)
+
+    def _propagate_store(self, core: int, addr: int) -> None:
+        """Reflect a store into the L2 copy's dirty bit and loop-bit.
+
+        The L1 is write-back, but propagating the dirty bit eagerly to
+        the L2 copy (metadata only — no data traffic is modelled inside
+        the SRAM upper levels) keeps loop-bit semantics exact: Fig. 10a
+        resets the loop-bit the moment a block is written.
+        """
+        block = self.l2s[core].peek(addr)
+        if block is None:
+            raise SimulationError(
+                f"L1/L2 inclusion violated: store to {addr:#x} with no L2 copy on core {core}"
+            )
+        first_dirtying = not block.dirty
+        block.dirty = True
+        self.policy.on_l2_dirtied(block)
+        if first_dirtying:
+            self.loop_tracker.on_dirtied(addr)
+            if self.coherence is not None:
+                self.coherence.on_store(core, addr)
+
+    # ------------------------------------------------------------------
+    # services used by inclusion policies
+    # ------------------------------------------------------------------
+    def charge_llc_write(self, core: int, addr: int, tech: str) -> None:
+        """Occupy the LLC bank for a (posted) write."""
+        self.timing.llc_write(core, self.llc.bank_of(addr), tech)
+
+    def shared_by_peers(self, core: int, addr: int) -> bool:
+        """True when another core's L2 holds ``addr`` (coherent runs only).
+
+        Exclusive-flavoured policies use this to relax invalidate-on-hit
+        for actively shared lines: invalidating a line that other cores
+        still read would force every subsequent reader through a snoop,
+        so real exclusive LLCs keep shared lines resident (cf. Jaleel et
+        al., HPCA 2015). Multiprogrammed runs (no coherence) always
+        return False.
+        """
+        if self.coherence is None:
+            return False
+        return any(
+            peer != core and self.l2s[peer].peek(addr) is not None
+            for peer in range(self.config.ncores)
+        )
+
+    def on_llc_eviction(self, line: EvictedLine) -> None:
+        """An LLC victim leaves the cache: write back dirty data and
+        apply back-invalidation for strictly inclusive policies."""
+        if line.dirty:
+            self.stats.mem_writes += 1
+        self.note_llc_evict(line.addr)
+        if getattr(self.policy, "back_invalidates", False):
+            self._back_invalidate(line.addr)
+
+    def _back_invalidate(self, addr: int) -> None:
+        for core in range(self.config.ncores):
+            self.l1s[core].invalidate(addr)
+            dropped = self.l2s[core].invalidate(addr)
+            if dropped is not None:
+                self.loop_tracker.on_l2_evict(dropped.addr, dropped.dirty)
+                if dropped.dirty:
+                    # The LLC copy is gone too; dirty data must reach
+                    # memory directly.
+                    self.stats.mem_writes += 1
+
+    def note_clean_insert(self, addr: int) -> None:
+        """A clean victim's data was written into the LLC (Fig. 16's
+        redundant loop-block re-insertions are counted here)."""
+        self.loop_tracker.on_clean_insert(addr)
+
+    # ---- redundant-fill instrumentation (Figs. 6 / 17) ---------------
+    def note_fill(self, addr: int) -> None:
+        """An LLC data-fill just happened; it is 'fresh' until reused."""
+        self._fresh_fills.add(addr)
+
+    def note_demand_hit(self, addr: int) -> None:
+        """A demand hit consumed the fill — it was useful."""
+        self._fresh_fills.discard(addr)
+
+    def note_dirty_victim(self, addr: int) -> None:
+        """A dirty victim overwrote the LLC copy; a still-fresh fill of
+        the same line was redundant (Fig. 5's definition)."""
+        if addr in self._fresh_fills:
+            self.llc.stats.redundant_fills += 1
+            self._fresh_fills.discard(addr)
+
+    def note_llc_evict(self, addr: int) -> None:
+        """The line left the LLC; forget its freshness."""
+        self._fresh_fills.discard(addr)
+
+    # ------------------------------------------------------------------
+    # sampling / finalisation
+    # ------------------------------------------------------------------
+    def _maybe_sample(self) -> None:
+        if self._occupancy_interval <= 0:
+            return
+        self._since_sample += 1
+        if self._since_sample >= self._occupancy_interval:
+            self._since_sample = 0
+            valid, loops = self.llc.loop_block_occupancy()
+            self.loop_tracker.sample_llc_occupancy(valid, loops)
+
+    def finish(self) -> None:
+        """End-of-run bookkeeping (flush CTC streaks, policy hooks)."""
+        self.loop_tracker.finalize()
+        self.policy.end_of_run()
+
+    # convenience -------------------------------------------------------
+    @property
+    def llc_mpki_numerator(self) -> int:
+        """LLC misses (demand accesses that missed)."""
+        return self.stats.llc_demand_accesses - self.stats.llc_demand_hits

@@ -1,0 +1,122 @@
+"""Approximate timing model.
+
+The paper's performance numbers come from gem5; here we use a
+latency-accounting model that captures the two effects the evaluation
+depends on:
+
+1. *capacity*: LLC misses cost main-memory latency, so policies with
+   better effective capacity (exclusion, LAP) run faster;
+2. *write occupancy*: STT-RAM writes occupy an LLC bank for 33 cycles
+   (Table II), so write-heavy policies suffer bank-contention stalls —
+   the reason LAP sometimes beats exclusion in Fig. 14(c).
+
+Each core keeps its own cycle clock; the LLC keeps a per-bank
+``busy_until`` horizon. A core's access to a busy bank stalls until the
+bank frees. Off-chip latency is derated by an MLP exposure factor since
+real out-of-order cores overlap misses.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from .config import HierarchyConfig
+
+
+class BankModel:
+    """Per-bank occupancy tracking for the shared LLC."""
+
+    def __init__(self, nbanks: int) -> None:
+        self.busy_until: List[float] = [0.0] * nbanks
+        self.write_stall_cycles = 0.0
+        self.read_stall_cycles = 0.0
+
+    def access(self, bank: int, now: float, service: float, is_write: bool) -> float:
+        """Occupy ``bank`` for ``service`` cycles starting at ``now``.
+
+        Returns the stall (cycles the requester waits for the bank).
+        Writes are posted — they occupy the bank but the requester does
+        not wait for their completion, only for the bank to be free.
+        """
+        free_at = self.busy_until[bank]
+        stall = max(0.0, free_at - now)
+        start = now + stall
+        self.busy_until[bank] = start + service
+        if is_write:
+            self.write_stall_cycles += stall
+        else:
+            self.read_stall_cycles += stall
+        return stall
+
+
+class TimingModel:
+    """Per-core cycle accounting with LLC bank contention."""
+
+    def __init__(self, config: HierarchyConfig) -> None:
+        self.config = config
+        self.l1_latency = config.l1.latency
+        self.l2_latency = config.l2.latency
+        llc = config.llc
+        self.llc_read_latency = llc.tech.read_latency_cycles
+        self.llc_write_latency = llc.tech.write_latency_cycles
+        self.sram_write_latency = llc.sram_tech.write_latency_cycles
+        self.sram_read_latency = llc.sram_tech.read_latency_cycles
+        self.mem_latency = config.mem_latency
+        self.mlp_exposure = config.mlp_exposure
+        self.banks = BankModel(llc.banks)
+        self.core_cycles: List[float] = [0.0] * config.ncores
+
+    def clock(self, core: int) -> float:
+        """Current cycle count of ``core``."""
+        return self.core_cycles[core]
+
+    def advance_instructions(self, core: int, instructions: float) -> None:
+        """Charge the base pipeline cost of committed instructions."""
+        self.core_cycles[core] += instructions
+
+    def l1_hit(self, core: int) -> float:
+        """An L1 hit is pipelined; no extra stall."""
+        return 0.0
+
+    def l2_hit(self, core: int) -> float:
+        """Stall for an L2 hit beyond the pipelined L1."""
+        stall = float(self.l2_latency)
+        self.core_cycles[core] += stall
+        return stall
+
+    def llc_read(self, core: int, bank: int, tech: str = "stt") -> float:
+        """Demand read served by the LLC: L2 latency + bank + array."""
+        now = self.core_cycles[core] + self.l2_latency
+        service = self.sram_read_latency if tech == "sram" else self.llc_read_latency
+        bank_stall = self.banks.access(bank, now, service, is_write=False)
+        stall = self.l2_latency + bank_stall + service
+        self.core_cycles[core] += stall
+        return stall
+
+    def llc_write(self, core: int, bank: int, tech: str = "stt") -> float:
+        """Posted write into the LLC (fills, victim insertions).
+
+        The core does not wait for completion; the bank is occupied for
+        the technology's write latency, creating back-pressure on later
+        reads. Returns the (small) issue stall.
+        """
+        now = self.core_cycles[core]
+        service = self.sram_write_latency if tech == "sram" else self.llc_write_latency
+        self.banks.access(bank, now, service, is_write=True)
+        return 0.0
+
+    def memory_access(self, core: int) -> float:
+        """Off-chip miss latency, derated by MLP overlap."""
+        stall = (self.l2_latency + self.llc_read_latency + self.mem_latency) * self.mlp_exposure
+        self.core_cycles[core] += stall
+        return stall
+
+    @property
+    def max_cycles(self) -> float:
+        """The run's duration: the slowest core's clock."""
+        return max(self.core_cycles)
+
+    def reset(self) -> None:
+        """Zero all clocks and bank horizons."""
+        self.core_cycles = [0.0] * self.config.ncores
+        self.banks = BankModel(self.config.llc.banks)

@@ -1,0 +1,24 @@
+"""Inclusion-property framework and traditional/dynamic baselines."""
+
+from .base import InclusionPolicy, LLCAccess
+from .dueling import ROLE_FOLLOWER, ROLE_LEADER_A, ROLE_LEADER_B, SetDueling, fewer_misses_wins
+from .switching import MODE_EX, MODE_NONI, DswitchPolicy, FLEXclusionPolicy, SwitchingPolicy
+from .traditional import ExclusivePolicy, InclusivePolicy, NonInclusivePolicy
+
+__all__ = [
+    "InclusionPolicy",
+    "LLCAccess",
+    "NonInclusivePolicy",
+    "ExclusivePolicy",
+    "InclusivePolicy",
+    "SwitchingPolicy",
+    "FLEXclusionPolicy",
+    "DswitchPolicy",
+    "MODE_NONI",
+    "MODE_EX",
+    "SetDueling",
+    "fewer_misses_wins",
+    "ROLE_LEADER_A",
+    "ROLE_LEADER_B",
+    "ROLE_FOLLOWER",
+]

@@ -1,0 +1,215 @@
+"""The inclusion-policy interface.
+
+An :class:`InclusionPolicy` owns every decision about the L2↔LLC
+boundary (Fig. 8 of the paper):
+
+- what happens on an LLC **hit** (keep the copy, or invalidate it as
+  exclusive caches do);
+- what happens on an LLC **miss** (fill the LLC as non-inclusive caches
+  do, or bypass it);
+- what happens to an **L2 victim** (drop clean victims, insert them,
+  or insert only non-duplicates);
+- which **replacement policy** governs each LLC set (LAP's set-dueling
+  hooks in here);
+- where a block is **placed** inside a hybrid LLC.
+
+The hierarchy engine (:mod:`repro.hierarchy.hierarchy`) drives the
+per-level mechanics and calls into the bound policy at these decision
+points, so policies stay small and the data-flow differences between
+them are exactly the paper's Fig. 8 table.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, NamedTuple, Optional
+
+from ..cache import Cache, CacheBlock, EvictedLine
+from ..cache.replacement import ReplacementPolicy
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..hierarchy.hierarchy import CacheHierarchy
+
+
+class LLCAccess(NamedTuple):
+    """Outcome of one LLC demand access.
+
+    ``hit``: whether the LLC supplied the line; ``tech``: technology
+    region that serviced the read (for timing), or the LLC's default
+    when missing.
+    """
+
+    hit: bool
+    tech: str
+
+
+class InclusionPolicy:
+    """Base class for all inclusion properties (Table IV)."""
+
+    name = "base"
+    #: whether this policy keeps the LLC copy on an LLC hit
+    invalidate_on_hit = False
+    #: whether this policy fills the LLC on an LLC miss
+    fill_on_miss = False
+    #: whether clean L2 victims are written to the LLC
+    clean_writeback = False
+
+    def __init__(self) -> None:
+        self.h: "CacheHierarchy" | None = None
+        self.llc: Cache | None = None
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    def bind(self, hierarchy: "CacheHierarchy") -> None:
+        """Attach the policy to a hierarchy (called once by the engine)."""
+        self.h = hierarchy
+        self.llc = hierarchy.llc
+        # Route hit-path recency/RRPV updates through the policy's
+        # per-set replacement choice (set-dueling correctness for
+        # non-LRU baselines).
+        self.llc.touch_policy = self.replacement_for
+
+    # ------------------------------------------------------------------
+    # decision points (overridden by concrete policies)
+    # ------------------------------------------------------------------
+    def llc_access(self, core: int, addr: int, is_write: bool) -> LLCAccess:
+        """Demand access from an L2 miss. Must be overridden."""
+        raise NotImplementedError
+
+    def l2_victim(self, core: int, line: EvictedLine) -> None:
+        """Handle a victim evicted by an L2. Must be overridden."""
+        raise NotImplementedError
+
+    def l2_fill_loop_bit(self, llc_hit: bool) -> bool:
+        """Loop-bit value for a block newly filled into L2.
+
+        Only LAP uses loop-bits; the default keeps them clear.
+        """
+        return False
+
+    def on_l2_dirtied(self, block: CacheBlock) -> None:
+        """An L2-resident block transitioned clean→dirty (store)."""
+        block.loop_bit = False
+
+    def replacement_for(self, set_index: int) -> Optional[ReplacementPolicy]:
+        """Replacement policy for inserts into an LLC set.
+
+        ``None`` means the LLC's default. LAP overrides this with its
+        set-dueling choice.
+        """
+        return None
+
+    def end_of_run(self) -> None:
+        """Flush any policy-internal accounting at simulation end."""
+
+    # ------------------------------------------------------------------
+    # shared mechanics
+    # ------------------------------------------------------------------
+    def _llc_lookup(self, core: int, addr: int) -> Optional[CacheBlock]:
+        """Demand lookup with timing and hierarchy bookkeeping.
+
+        Demand reads of the LLC are always *reads* regardless of the
+        requesting instruction: stores dirty the line in L2, not in the
+        LLC.
+        """
+        llc = self.llc
+        block = llc.lookup(addr, is_write=False)
+        set_index = llc.set_index(addr)
+        if block is None:
+            self._record_duel_miss(set_index)
+            return None
+        self.h.timing.llc_read(core, llc.bank_of(addr), block.tech)
+        self.h.note_demand_hit(addr)
+        return block
+
+    def _record_duel_miss(self, set_index: int) -> None:
+        """Hook for dueling controllers; default: none."""
+
+    def insert_or_update(
+        self,
+        core: int,
+        addr: int,
+        *,
+        dirty: bool,
+        loop_bit: bool = False,
+        category: str,
+    ) -> None:
+        """Write a line into the LLC, merging with an existing copy.
+
+        ``category`` names the Fig. 15 write class: ``"fill"``,
+        ``"clean_victim"``, or ``"dirty_victim"``. If the line is
+        already present (possible for non-inclusive fills racing with
+        victims, and transiently across dynamic-mode switches) the copy
+        is updated in place and dirty victims are counted as
+        ``update_writes``.
+        """
+        llc = self.llc
+        stats = llc.stats
+        existing = llc.peek(addr)
+        if existing is not None:
+            llc.update(existing, dirty=dirty)
+            existing.loop_bit = loop_bit
+            if dirty:
+                stats.update_writes += 1
+                self.h.note_dirty_victim(addr)
+            else:
+                stats.clean_victim_writes += 1
+                self.h.note_clean_insert(addr)
+            self.h.charge_llc_write(core, addr, existing.tech)
+            self._record_duel_write(llc.set_index(addr))
+            return
+        self._place_and_insert(core, addr, dirty=dirty, loop_bit=loop_bit, category=category)
+
+    def _place_and_insert(
+        self,
+        core: int,
+        addr: int,
+        *,
+        dirty: bool,
+        loop_bit: bool,
+        category: str,
+    ) -> None:
+        """Insert a new line; hybrid-aware policies override placement."""
+        llc = self.llc
+        set_index = llc.set_index(addr)
+        policy = self.replacement_for(set_index)
+        evicted = llc.insert(
+            addr, dirty=dirty, loop_bit=loop_bit, region=None, policy=policy
+        )
+        self._finish_insert(core, addr, evicted, dirty=dirty, category=category)
+
+    def _finish_insert(
+        self,
+        core: int,
+        addr: int,
+        evicted: Optional[EvictedLine],
+        *,
+        dirty: bool,
+        category: str,
+    ) -> None:
+        """Common post-insert accounting: categories, timing, victims."""
+        llc = self.llc
+        stats = llc.stats
+        if category == "fill":
+            stats.fill_writes += 1
+            self.h.note_fill(addr)
+        elif category == "clean_victim":
+            stats.clean_victim_writes += 1
+            self.h.note_clean_insert(addr)
+        elif category == "dirty_victim":
+            stats.dirty_victim_writes += 1
+            self.h.note_dirty_victim(addr)
+        else:  # pragma: no cover - programming error
+            raise ValueError(f"unknown LLC write category {category!r}")
+        inserted = llc.peek(addr)
+        tech = inserted.tech if inserted is not None else llc.tech
+        self.h.charge_llc_write(core, addr, tech)
+        self._record_duel_write(llc.set_index(addr))
+        if evicted is not None:
+            self.h.on_llc_eviction(evicted)
+
+    def _record_duel_write(self, set_index: int) -> None:
+        """Hook for write-aware dueling controllers; default: none."""
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<{type(self).__name__} {self.name}>"

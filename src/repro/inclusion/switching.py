@@ -1,0 +1,140 @@
+"""Dynamic inclusion-switching baselines: FLEXclusion and Dswitch.
+
+Both policies dynamically select between the non-inclusive and the
+exclusive data flow using set-dueling (leader sets permanently run one
+mode each; follower sets adopt the current winner). They differ only in
+the decision function:
+
+- **FLEXclusion** (Sim et al., ISCA 2012) is performance/bandwidth
+  oriented: it picks exclusion when the sampled capacity benefit is
+  real (exclusive leaders miss measurably less), and otherwise falls
+  back to non-inclusion to save on-chip bandwidth. It is deliberately
+  blind to write energy — the paper's point is that this SRAM-era
+  objective misfires on asymmetric LLCs.
+- **Dswitch** (Cheng et al., PSU CSE16-004) additionally weighs the
+  write traffic each mode generates, approximating the energy cost of
+  a mode as ``writes + miss_weight * misses`` and picking the cheaper
+  mode.
+"""
+
+from __future__ import annotations
+
+from ..cache import EvictedLine
+from .base import InclusionPolicy, LLCAccess
+from .dueling import ROLE_LEADER_A, ROLE_LEADER_B, SetDueling
+
+MODE_NONI = ROLE_LEADER_A  # leader-A sets run the non-inclusive flow
+MODE_EX = ROLE_LEADER_B  # leader-B sets run the exclusive flow
+
+
+class SwitchingPolicy(InclusionPolicy):
+    """Shared machinery for noni↔ex set-dueling switchers."""
+
+    name = "switching"
+
+    def __init__(self, duel_period: int = 64, duel_interval: int = 4096) -> None:
+        super().__init__()
+        self._duel_period = duel_period
+        self._duel_interval = duel_interval
+        self.dueling: SetDueling | None = None
+
+    def bind(self, hierarchy) -> None:
+        super().bind(hierarchy)
+        self.dueling = SetDueling(
+            num_sets=self.llc.num_sets,
+            period=self._duel_period,
+            interval=self._duel_interval,
+            winner_fn=self._decide,
+            initial_winner=MODE_NONI,
+        )
+
+    # decision function: overridden per policy -------------------------
+    def _decide(self, miss_noni: int, write_noni: int, miss_ex: int, write_ex: int) -> int:
+        raise NotImplementedError
+
+    def mode_for(self, addr: int) -> int:
+        """The inclusion mode governing the set that ``addr`` maps to."""
+        return self.dueling.policy_for(self.llc.set_index(addr))
+
+    @property
+    def current_mode(self) -> int:
+        """The follower sets' current mode (for tests/introspection)."""
+        return self.dueling.winner
+
+    def _record_duel_miss(self, set_index: int) -> None:
+        self.dueling.record_miss(set_index)
+
+    def _record_duel_write(self, set_index: int) -> None:
+        self.dueling.record_write(set_index)
+
+    # the switched data flow -------------------------------------------
+    def llc_access(self, core: int, addr: int, is_write: bool) -> LLCAccess:
+        self.dueling.tick()
+        mode = self.mode_for(addr)
+        block = self._llc_lookup(core, addr)
+        if block is not None:
+            tech = block.tech
+            if mode == MODE_EX and not self.h.shared_by_peers(core, addr):
+                self.llc.invalidate(addr)
+                self.llc.stats.hit_invalidations += 1
+                self.h.note_llc_evict(addr)
+            return LLCAccess(hit=True, tech=tech)
+        if mode == MODE_NONI:
+            self.insert_or_update(core, addr, dirty=False, category="fill")
+        return LLCAccess(hit=False, tech=self.llc.tech)
+
+    def l2_victim(self, core: int, line: EvictedLine) -> None:
+        mode = self.mode_for(line.addr)
+        if line.dirty:
+            self.insert_or_update(core, line.addr, dirty=True, category="dirty_victim")
+        elif mode == MODE_EX:
+            self.insert_or_update(
+                core, line.addr, dirty=False, loop_bit=line.loop_bit, category="clean_victim"
+            )
+        # clean victim in noni mode: silently dropped
+
+
+class FLEXclusionPolicy(SwitchingPolicy):
+    """Capacity/bandwidth-driven switching (write-energy blind)."""
+
+    name = "flexclusion"
+
+    def __init__(
+        self,
+        duel_period: int = 64,
+        duel_interval: int = 4096,
+        capacity_tolerance: float = 0.98,
+    ) -> None:
+        super().__init__(duel_period, duel_interval)
+        self.capacity_tolerance = capacity_tolerance
+
+    def _decide(self, miss_noni: int, write_noni: int, miss_ex: int, write_ex: int) -> int:
+        # Exclusion wins only when its sampled miss count is genuinely
+        # lower (capacity demand); ties favour non-inclusion, which
+        # consumes less on-chip bandwidth (no clean-victim traffic).
+        if miss_ex < miss_noni * self.capacity_tolerance:
+            return MODE_EX
+        return MODE_NONI
+
+
+class DswitchPolicy(SwitchingPolicy):
+    """Write-aware switching: picks the mode with the lower estimated
+    energy ``writes + miss_weight * misses`` (misses proxy both the
+    data-fill energy a miss triggers elsewhere and the leakage cost of
+    running longer)."""
+
+    name = "dswitch"
+
+    def __init__(
+        self,
+        duel_period: int = 64,
+        duel_interval: int = 4096,
+        miss_weight: float = 0.6,
+    ) -> None:
+        super().__init__(duel_period, duel_interval)
+        self.miss_weight = miss_weight
+
+    def _decide(self, miss_noni: int, write_noni: int, miss_ex: int, write_ex: int) -> int:
+        score_noni = write_noni + self.miss_weight * miss_noni
+        score_ex = write_ex + self.miss_weight * miss_ex
+        return MODE_NONI if score_noni <= score_ex else MODE_EX

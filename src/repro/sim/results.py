@@ -1,0 +1,137 @@
+"""Run results: every metric the paper's figures consume, in one place."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from ..cache.stats import CacheStats, CoherenceStats, LoopBlockStats
+from ..energy.model import EnergyResult
+from ..errors import AnalysisError
+from ..hierarchy.hierarchy import HierarchyStats
+
+
+@dataclass
+class RunResult:
+    """Outcome of simulating one workload under one inclusion policy."""
+
+    policy: str
+    workload: str
+    system: str
+    refs_per_core: int
+    instructions: int
+    cycles: float
+    core_instructions: List[int]
+    core_cycles: List[float]
+    llc: CacheStats
+    hier: HierarchyStats
+    loop: LoopBlockStats
+    energy: EnergyResult
+    coherence: Optional[CoherenceStats] = None
+    extra: Dict[str, float] = field(default_factory=dict)
+
+    # ------------------------------------------------------------------
+    # paper metrics
+    # ------------------------------------------------------------------
+    @property
+    def epi(self) -> float:
+        """LLC energy per instruction (J/instr)."""
+        return self.energy.epi
+
+    @property
+    def dynamic_epi(self) -> float:
+        return self.energy.dynamic_epi
+
+    @property
+    def static_epi(self) -> float:
+        return self.energy.static_epi
+
+    @property
+    def total_energy(self) -> float:
+        """Total LLC energy in joules (Fig. 20a uses totals)."""
+        return self.energy.total_j
+
+    @property
+    def throughput(self) -> float:
+        """Sum of per-core IPCs (the paper's multiprogrammed metric)."""
+        total = 0.0
+        for instr, cyc in zip(self.core_instructions, self.core_cycles):
+            if cyc > 0:
+                total += instr / cyc
+        return total
+
+    @property
+    def latency(self) -> float:
+        """Run duration in cycles (the multithreaded metric)."""
+        return self.cycles
+
+    @property
+    def llc_misses(self) -> int:
+        return self.hier.llc_demand_accesses - self.hier.llc_demand_hits
+
+    @property
+    def mpki(self) -> float:
+        """LLC misses per kilo-instruction."""
+        if self.instructions <= 0:
+            raise AnalysisError("MPKI undefined for zero instructions")
+        return self.llc_misses / (self.instructions / 1000.0)
+
+    @property
+    def llc_writes(self) -> int:
+        """Total LLC writes in the paper's Fig. 15 sense."""
+        return self.llc.llc_writes
+
+    def write_breakdown(self) -> Dict[str, int]:
+        """Fig. 15's three write classes (updates fold into L2-dirty)."""
+        return {
+            "llc_data_fill": self.llc.fill_writes,
+            "l2_dirty": self.llc.dirty_victim_writes + self.llc.update_writes,
+            "l2_clean": self.llc.clean_victim_writes,
+        }
+
+    @property
+    def redundant_fill_fraction(self) -> float:
+        """Redundant fills over all LLC data-fills (Figs. 6 / 17)."""
+        if self.llc.fill_writes == 0:
+            return 0.0
+        return self.llc.redundant_fills / self.llc.fill_writes
+
+    @property
+    def loop_block_fraction(self) -> float:
+        """Clean-trip share of L2 evictions (Fig. 4)."""
+        return self.loop.loop_block_fraction
+
+    @property
+    def loop_reinsertion_share(self) -> float:
+        """Share of LLC writes that redundantly re-insert loop-blocks
+        (Fig. 16's energy-harmful writes; zero under non-inclusion and
+        LAP-with-duplicates by construction)."""
+        if self.llc_writes == 0:
+            return 0.0
+        return self.loop.loop_reinsertions / self.llc_writes
+
+    @property
+    def llc_loop_occupancy(self) -> float:
+        """Average fraction of LLC-resident blocks that are loop-blocks
+        (Fig. 16)."""
+        if self.loop.llc_loop_samples == 0:
+            return 0.0
+        return self.loop.llc_loop_blocks / self.loop.llc_loop_samples
+
+    @property
+    def snoop_traffic(self) -> int:
+        """Coherence traffic (Fig. 20c); zero when coherence is off."""
+        return self.coherence.total_traffic if self.coherence else 0
+
+    def summary(self) -> Dict[str, float]:
+        """A compact dict of headline metrics (reports, EXPERIMENTS.md)."""
+        return {
+            "epi": self.epi,
+            "static_epi": self.static_epi,
+            "dynamic_epi": self.dynamic_epi,
+            "throughput": self.throughput,
+            "mpki": self.mpki,
+            "llc_writes": float(self.llc_writes),
+            "loop_fraction": self.loop_block_fraction,
+            "redundant_fill_fraction": self.redundant_fill_fraction,
+        }

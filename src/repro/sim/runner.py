@@ -1,0 +1,122 @@
+"""Experiment runner: build-fresh-workload-per-run orchestration.
+
+Trace generators are stateful streams, so comparing policies fairly
+requires rebuilding the workload (same seed → bit-identical trace) for
+every run. The runner owns that discipline: callers pass a *workload
+builder* (``ScaleContext -> Workload``) and a list of policy names, and
+get back one :class:`~repro.sim.results.RunResult` per policy.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Iterable, Sequence
+
+from ..workloads.mixes import (
+    Workload,
+    make_duplicate,
+    make_multiprogrammed,
+    make_multithreaded,
+    make_table3_mix,
+)
+from ..workloads.synthetic import ScaleContext
+from .results import RunResult
+from .simulator import Simulator
+from .system import SystemConfig
+
+WorkloadBuilder = Callable[[ScaleContext], Workload]
+
+# Default reference count per core for harness runs; large enough for
+# working sets to cycle through the scaled hierarchy several times.
+DEFAULT_REFS = 120_000
+
+
+def duplicate_builder(benchmark: str, ncores: int = 4, seed: int = 0) -> WorkloadBuilder:
+    """Builder for N duplicate copies of one benchmark (Figs. 2/4/6)."""
+
+    def build(ctx: ScaleContext) -> Workload:
+        return make_duplicate(benchmark, ctx, ncores=ncores, seed=seed)
+
+    return build
+
+
+def mix_builder(mix_name: str, seed: int = 0) -> WorkloadBuilder:
+    """Builder for a Table III mix (WL1..WH5)."""
+
+    def build(ctx: ScaleContext) -> Workload:
+        return make_table3_mix(mix_name, ctx, seed=seed)
+
+    return build
+
+
+def benchmarks_builder(benchmarks: Sequence[str], seed: int = 0, name: str | None = None) -> WorkloadBuilder:
+    """Builder for an arbitrary multiprogrammed combination."""
+
+    def build(ctx: ScaleContext) -> Workload:
+        return make_multiprogrammed(benchmarks, ctx, seed=seed, name=name)
+
+    return build
+
+
+def multithreaded_builder(benchmark: str, nthreads: int = 4, seed: int = 0) -> WorkloadBuilder:
+    """Builder for a PARSEC-like multithreaded workload (Fig. 20)."""
+
+    def build(ctx: ScaleContext) -> Workload:
+        return make_multithreaded(benchmark, ctx, nthreads=nthreads, seed=seed)
+
+    return build
+
+
+def run_one(
+    system: SystemConfig,
+    policy: str,
+    builder: WorkloadBuilder,
+    refs_per_core: int = DEFAULT_REFS,
+    **policy_kwargs,
+) -> RunResult:
+    """Simulate one (policy, workload) pair on a fresh hierarchy."""
+    workload = builder(system.scale_context())
+    sim = Simulator(system, policy, workload, **policy_kwargs)
+    return sim.run(refs_per_core)
+
+
+def run_policies(
+    system: SystemConfig,
+    policies: Iterable[str],
+    builder: WorkloadBuilder,
+    refs_per_core: int = DEFAULT_REFS,
+) -> Dict[str, RunResult]:
+    """Run several policies against bit-identical copies of a workload."""
+    return {
+        policy: run_one(system, policy, builder, refs_per_core) for policy in policies
+    }
+
+
+def run_matrix(
+    system: SystemConfig,
+    policies: Sequence[str],
+    builders: Dict[str, WorkloadBuilder],
+    refs_per_core: int = DEFAULT_REFS,
+) -> Dict[str, Dict[str, RunResult]]:
+    """Full workload × policy sweep: ``{workload: {policy: result}}``."""
+    out: Dict[str, Dict[str, RunResult]] = {}
+    for wname, builder in builders.items():
+        out[wname] = run_policies(system, policies, builder, refs_per_core)
+    return out
+
+
+def normalized(
+    results: Dict[str, RunResult],
+    metric: str,
+    baseline: str = "non-inclusive",
+) -> Dict[str, float]:
+    """Normalise a metric across policies to a baseline policy.
+
+    ``metric`` names a :class:`RunResult` property (``"epi"``,
+    ``"mpki"``, ``"throughput"``, ``"llc_writes"``, ...).
+    """
+    base = getattr(results[baseline], metric)
+    if base == 0:
+        raise ZeroDivisionError(
+            f"baseline {baseline!r} has zero {metric!r}; cannot normalise"
+        )
+    return {name: getattr(r, metric) / base for name, r in results.items()}

@@ -1,0 +1,178 @@
+"""Parameter-sweep framework with CSV export.
+
+The paper's Section VI-D sensitivity studies are grids over system
+parameters (L2:L3 ratio, core count, write/read energy ratio) crossed
+with workloads and policies. :class:`Sweep` expresses such grids
+declaratively and collects one flat record per run, ready for CSV
+export or downstream aggregation — the machinery behind the Fig. 21–23
+benchmarks and any new sensitivity study a user wants to script.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+import pathlib
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Iterable, List, Optional, Sequence, Union
+
+from ..errors import AnalysisError
+from .results import RunResult
+from .runner import WorkloadBuilder, run_one
+from .system import SystemConfig
+
+# A sweep axis: label -> SystemConfig
+SystemAxis = Dict[str, SystemConfig]
+# workload axis: label -> builder
+WorkloadAxis = Dict[str, WorkloadBuilder]
+
+RECORD_METRICS = (
+    "epi",
+    "static_epi",
+    "dynamic_epi",
+    "throughput",
+    "mpki",
+    "llc_writes",
+    "llc_misses",
+    "loop_block_fraction",
+    "redundant_fill_fraction",
+    "snoop_traffic",
+)
+
+
+@dataclass(frozen=True)
+class SweepRecord:
+    """One run's flattened outcome."""
+
+    system: str
+    workload: str
+    policy: str
+    metrics: Dict[str, float]
+
+    def row(self) -> Dict[str, Union[str, float]]:
+        return {"system": self.system, "workload": self.workload,
+                "policy": self.policy, **self.metrics}
+
+
+@dataclass
+class Sweep:
+    """A systems × workloads × policies grid.
+
+    Example
+    -------
+    >>> sweep = Sweep(
+    ...     systems={"1:4": SystemConfig.scaled(l2_kb=8)},
+    ...     workloads={"WH1": mix_builder("WH1")},
+    ...     policies=("non-inclusive", "lap"),
+    ...     refs_per_core=10_000,
+    ... )
+    >>> records = sweep.run()  # doctest: +SKIP
+    """
+
+    systems: SystemAxis
+    workloads: WorkloadAxis
+    policies: Sequence[str]
+    refs_per_core: int = 10_000
+    metrics: Sequence[str] = RECORD_METRICS
+
+    def __post_init__(self) -> None:
+        if not self.systems or not self.workloads or not self.policies:
+            raise AnalysisError("a sweep needs at least one system, workload, and policy")
+        if self.refs_per_core <= 0:
+            raise AnalysisError("refs_per_core must be positive")
+
+    def size(self) -> int:
+        """Number of simulations the sweep will run."""
+        return len(self.systems) * len(self.workloads) * len(self.policies)
+
+    def run(
+        self,
+        progress: Optional[Callable[[SweepRecord], None]] = None,
+    ) -> List[SweepRecord]:
+        """Execute the grid; returns one record per run (stable order)."""
+        records: List[SweepRecord] = []
+        for sys_label, system in self.systems.items():
+            for wl_label, builder in self.workloads.items():
+                for policy in self.policies:
+                    result = run_one(system, policy, builder, self.refs_per_core)
+                    record = SweepRecord(
+                        system=sys_label,
+                        workload=wl_label,
+                        policy=policy,
+                        metrics=self._extract(result),
+                    )
+                    records.append(record)
+                    if progress is not None:
+                        progress(record)
+        return records
+
+    def _extract(self, result: RunResult) -> Dict[str, float]:
+        out = {}
+        for metric in self.metrics:
+            value = getattr(result, metric)
+            out[metric] = float(value)
+        return out
+
+
+def normalize_records(
+    records: Iterable[SweepRecord],
+    metric: str,
+    baseline_policy: str = "non-inclusive",
+) -> Dict[tuple, Dict[str, float]]:
+    """Normalise a metric per (system, workload) cell to a baseline policy.
+
+    Returns ``{(system, workload): {policy: normalised value}}``.
+    """
+    cells: Dict[tuple, Dict[str, float]] = {}
+    for r in records:
+        cells.setdefault((r.system, r.workload), {})[r.policy] = r.metrics[metric]
+    out: Dict[tuple, Dict[str, float]] = {}
+    for cell, by_policy in cells.items():
+        if baseline_policy not in by_policy:
+            raise AnalysisError(
+                f"cell {cell} is missing baseline policy {baseline_policy!r}"
+            )
+        base = by_policy[baseline_policy]
+        if base == 0:
+            raise AnalysisError(f"baseline {metric} is zero in cell {cell}")
+        out[cell] = {p: v / base for p, v in by_policy.items()}
+    return out
+
+
+def records_to_csv(
+    records: Sequence[SweepRecord],
+    path: Optional[Union[str, pathlib.Path]] = None,
+) -> str:
+    """Serialise records as CSV; optionally also write to ``path``."""
+    if not records:
+        raise AnalysisError("no records to serialise")
+    fieldnames = list(records[0].row().keys())
+    buf = io.StringIO()
+    writer = csv.DictWriter(buf, fieldnames=fieldnames)
+    writer.writeheader()
+    for r in records:
+        writer.writerow(r.row())
+    text = buf.getvalue()
+    if path is not None:
+        pathlib.Path(path).write_text(text)
+    return text
+
+
+def load_csv(path: Union[str, pathlib.Path]) -> List[SweepRecord]:
+    """Read records back from a CSV written by :func:`records_to_csv`."""
+    path = pathlib.Path(path)
+    if not path.exists():
+        raise AnalysisError(f"no such sweep CSV: {path}")
+    records: List[SweepRecord] = []
+    with path.open() as fh:
+        for row in csv.DictReader(fh):
+            meta = {k: row.pop(k) for k in ("system", "workload", "policy")}
+            records.append(
+                SweepRecord(
+                    system=meta["system"],
+                    workload=meta["workload"],
+                    policy=meta["policy"],
+                    metrics={k: float(v) for k, v in row.items()},
+                )
+            )
+    return records

@@ -1,0 +1,74 @@
+"""Micro-hierarchy helpers for tests, benchmarks, and experimentation.
+
+The paper's worked examples (Figs. 3, 5, 10, 11) reason about a handful
+of named blocks in a single cache set. :func:`micro_hierarchy_config`
+builds a hierarchy small enough to steer by hand — a one-block L1, a
+single-set L2, and a single-set LLC — and :func:`build_micro` binds it
+to any registered policy. Block addresses ``A``–``H`` fall into that
+one set.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Tuple, Union
+
+from .energy.technology import STT_RAM, TechnologyParams
+from .hierarchy import CacheHierarchy, HierarchyConfig, LevelConfig, LLCLevelConfig
+from .inclusion.base import InclusionPolicy
+
+BLOCK = 64
+
+# Named block addresses A..H — all map to the micro config's only L2 set.
+A, B, C, D, E, F, G, H = (i * BLOCK for i in range(8))
+
+
+def micro_hierarchy_config(
+    ncores: int = 1,
+    l1_bytes: int = 64,
+    l2_bytes: int = 256,
+    l2_assoc: int = 4,
+    llc_bytes: int = 1024,
+    llc_assoc: int = 16,
+    tech: TechnologyParams = STT_RAM,
+    sram_ways: int | None = None,
+) -> HierarchyConfig:
+    """A hand-steerable hierarchy: one-set L2, tiny L1, small LLC.
+
+    With a 4-way single-set L2, four distinct blocks fill it and four
+    more evict them — exactly what the Fig. 3 / Fig. 5 walk-throughs
+    need.
+    """
+    return HierarchyConfig(
+        ncores=ncores,
+        block_size=BLOCK,
+        l1=LevelConfig(size_bytes=l1_bytes, assoc=1, latency=1),
+        l2=LevelConfig(size_bytes=l2_bytes, assoc=l2_assoc, latency=2),
+        llc=LLCLevelConfig(
+            size_bytes=llc_bytes, assoc=llc_assoc, banks=1, tech=tech, sram_ways=sram_ways
+        ),
+        mem_latency=50,
+    )
+
+
+def build_micro(
+    policy: Union[str, InclusionPolicy],
+    enable_coherence: bool = False,
+    **config_kwargs,
+) -> CacheHierarchy:
+    """A micro hierarchy bound to ``policy`` (instance or registry name)."""
+    from .core.policies import make_policy
+
+    config = micro_hierarchy_config(**config_kwargs)
+    if isinstance(policy, str):
+        policy = make_policy(policy)
+    return CacheHierarchy(config, policy, enable_coherence=enable_coherence)
+
+
+def run_refs(
+    hierarchy: CacheHierarchy,
+    refs: Iterable[Tuple[int, bool]],
+    core: int = 0,
+) -> None:
+    """Drive a hierarchy with ``(addr, is_write)`` pairs on one core."""
+    for addr, is_write in refs:
+        hierarchy.access(core, addr, is_write)

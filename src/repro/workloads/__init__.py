@@ -1,0 +1,73 @@
+"""Synthetic workloads: traces, regions, SPEC/PARSEC analogues, mixes."""
+
+from .mixes import (
+    MULTIPROGRAMMED,
+    MULTITHREADED,
+    TABLE3_MIXES,
+    TABLE3_ORDER,
+    WH_MIXES,
+    WL_MIXES,
+    Workload,
+    make_duplicate,
+    make_multiprogrammed,
+    make_multithreaded,
+    make_table3_mix,
+    random_mixes,
+)
+from .parsec import PARSEC_BENCHMARKS, PARSEC_ORDER, ParsecSpec, get_parsec
+from .regions import (
+    HotRegion,
+    LoopRegion,
+    RandomRegion,
+    Region,
+    StreamRegion,
+    WriteBurstRegion,
+)
+from .spec import (
+    PAPER_BENCHMARK_ORDER,
+    SPEC_BENCHMARKS,
+    BenchmarkSpec,
+    benchmark_names,
+    build_benchmark,
+    get_benchmark,
+)
+from .synthetic import ScaleContext, SharedStateTrace, SyntheticTrace
+from .trace import ConcatTrace, FixedTrace, MemRef, TraceGenerator
+
+__all__ = [
+    "MemRef",
+    "TraceGenerator",
+    "FixedTrace",
+    "ConcatTrace",
+    "Region",
+    "LoopRegion",
+    "StreamRegion",
+    "RandomRegion",
+    "HotRegion",
+    "WriteBurstRegion",
+    "ScaleContext",
+    "SyntheticTrace",
+    "SharedStateTrace",
+    "BenchmarkSpec",
+    "SPEC_BENCHMARKS",
+    "PAPER_BENCHMARK_ORDER",
+    "benchmark_names",
+    "get_benchmark",
+    "build_benchmark",
+    "ParsecSpec",
+    "PARSEC_BENCHMARKS",
+    "PARSEC_ORDER",
+    "get_parsec",
+    "Workload",
+    "MULTIPROGRAMMED",
+    "MULTITHREADED",
+    "TABLE3_MIXES",
+    "TABLE3_ORDER",
+    "WL_MIXES",
+    "WH_MIXES",
+    "make_multiprogrammed",
+    "make_duplicate",
+    "make_table3_mix",
+    "make_multithreaded",
+    "random_mixes",
+]

@@ -1,0 +1,139 @@
+"""Workload construction: Table III mixes, random mixes, threads.
+
+A :class:`Workload` bundles one trace generator per core plus metadata.
+Multi-programmed workloads place each core's benchmark at a disjoint
+address base (private address spaces); multithreaded workloads share
+regions across threads (see :mod:`repro.workloads.parsec`).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+from ..errors import WorkloadError
+from .parsec import get_parsec
+from .spec import build_benchmark, get_benchmark
+from .synthetic import ScaleContext
+from .trace import TraceGenerator
+
+MULTIPROGRAMMED = "multiprogrammed"
+MULTITHREADED = "multithreaded"
+
+
+@dataclass
+class Workload:
+    """One runnable workload: a generator per core plus metadata."""
+
+    name: str
+    kind: str
+    generators: List[TraceGenerator]
+    benchmarks: Tuple[str, ...]
+    seed: int = 0
+
+    @property
+    def ncores(self) -> int:
+        return len(self.generators)
+
+
+# Table III of the paper, verbatim (WL: fewer writes under exclusion;
+# WH: more writes under exclusion). Paper abbreviations expanded.
+TABLE3_MIXES: Dict[str, Tuple[str, str, str, str]] = {
+    "WL1": ("zeusmp", "leslie3d", "omnetpp", "dealII"),
+    "WL2": ("lbm", "xalancbmk", "libquantum", "GemsFDTD"),
+    "WL3": ("GemsFDTD", "GemsFDTD", "GemsFDTD", "mcf"),
+    "WL4": ("milc", "libquantum", "leslie3d", "bwaves"),
+    "WL5": ("bzip2", "xalancbmk", "GemsFDTD", "GemsFDTD"),
+    "WH1": ("omnetpp", "xalancbmk", "zeusmp", "libquantum"),
+    "WH2": ("milc", "omnetpp", "bzip2", "xalancbmk"),
+    "WH3": ("omnetpp", "omnetpp", "dealII", "leslie3d"),
+    "WH4": ("mcf", "omnetpp", "leslie3d", "xalancbmk"),
+    "WH5": ("xalancbmk", "xalancbmk", "xalancbmk", "bzip2"),
+}
+
+WL_MIXES = ("WL1", "WL2", "WL3", "WL4", "WL5")
+WH_MIXES = ("WH1", "WH2", "WH3", "WH4", "WH5")
+TABLE3_ORDER = WL_MIXES + WH_MIXES
+
+
+def make_multiprogrammed(
+    benchmarks: Sequence[str],
+    ctx: ScaleContext,
+    seed: int = 0,
+    name: str | None = None,
+) -> Workload:
+    """Build an N-core multi-programmed workload.
+
+    Each core runs its own copy of a benchmark in a private address
+    space (base offset ``core * ctx.core_span``), matching the paper's
+    rate-mode SPEC methodology.
+    """
+    if not benchmarks:
+        raise WorkloadError("a multiprogrammed workload needs at least one benchmark")
+    resolved = tuple(get_benchmark(b).name for b in benchmarks)
+    generators: List[TraceGenerator] = []
+    for core, bench in enumerate(resolved):
+        generators.append(
+            build_benchmark(bench, ctx, seed=seed * 7919 + core, base=core * ctx.core_span)
+        )
+    return Workload(
+        name=name or "+".join(resolved),
+        kind=MULTIPROGRAMMED,
+        generators=generators,
+        benchmarks=resolved,
+        seed=seed,
+    )
+
+
+def make_duplicate(
+    benchmark: str, ctx: ScaleContext, ncores: int = 4, seed: int = 0
+) -> Workload:
+    """Run ``ncores`` duplicate copies of one benchmark (Figs. 2/4/6)."""
+    wl = make_multiprogrammed([benchmark] * ncores, ctx, seed=seed, name=f"{benchmark}x{ncores}")
+    return wl
+
+
+def make_table3_mix(mix_name: str, ctx: ScaleContext, seed: int = 0) -> Workload:
+    """Build one of the paper's ten selected mixes (Table III)."""
+    try:
+        benchmarks = TABLE3_MIXES[mix_name]
+    except KeyError:
+        raise WorkloadError(f"unknown Table III mix {mix_name!r}; known: {sorted(TABLE3_MIXES)}")
+    wl = make_multiprogrammed(benchmarks, ctx, seed=seed, name=mix_name)
+    return wl
+
+
+def make_multithreaded(
+    benchmark: str, ctx: ScaleContext, nthreads: int = 4, seed: int = 0
+) -> Workload:
+    """Build a PARSEC-like multithreaded workload (Fig. 20)."""
+    spec = get_parsec(benchmark)
+    generators = spec.build_threads(ctx, seed=seed, nthreads=nthreads)
+    return Workload(
+        name=benchmark,
+        kind=MULTITHREADED,
+        generators=generators,
+        benchmarks=(benchmark,),
+        seed=seed,
+    )
+
+
+def random_mixes(
+    count: int = 50,
+    ncores: int = 4,
+    seed: int = 1,
+    benchmarks: Sequence[str] | None = None,
+) -> List[Tuple[str, ...]]:
+    """Sample the paper's "50 random combinations" of SPEC benchmarks.
+
+    Deterministic in ``seed``. Duplicates inside a mix are allowed, as
+    in the paper (e.g. WL3 runs three copies of GemsFDTD).
+    """
+    from .spec import benchmark_names
+
+    pool = list(benchmarks if benchmarks is not None else benchmark_names())
+    if not pool:
+        raise WorkloadError("empty benchmark pool")
+    rng = random.Random(seed)
+    return [tuple(rng.choice(pool) for _ in range(ncores)) for _ in range(count)]

@@ -1,0 +1,233 @@
+"""Address-region behaviours for synthetic workloads.
+
+The paper characterises each SPEC CPU2006 benchmark through a small set
+of cache-visible behaviours: frequently re-read working sets sized
+between L2 and the LLC (the loop-block source), streaming sweeps larger
+than the LLC, read-then-modify streams (the redundant-data-fill source),
+small hot sets that live in upper-level caches, and large
+low-locality pointer-chasing sets. Each behaviour is a :class:`Region`
+that draws block-granular addresses inside its own address range; a
+:class:`~repro.workloads.synthetic.SyntheticTrace` mixes several
+regions with per-reference weights.
+
+All randomness flows through a ``numpy.random.Generator`` owned by the
+composing trace, so workloads are fully deterministic per seed.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+from ..errors import WorkloadError
+from ..utils import require_positive
+
+
+class Region:
+    """A contiguous address range with a sampling behaviour.
+
+    Subclasses implement :meth:`sample`, returning ``n`` block-aligned
+    addresses (absolute, offset by ``base``) and write flags.
+    """
+
+    def __init__(self, base: int, size_bytes: int, block_size: int = 64) -> None:
+        require_positive(size_bytes, "region size_bytes")
+        require_positive(block_size, "region block_size")
+        if size_bytes < block_size:
+            raise WorkloadError(
+                f"region of {size_bytes}B smaller than one {block_size}B block"
+            )
+        self.base = base
+        self.size_bytes = size_bytes
+        self.block_size = block_size
+        self.num_blocks = size_bytes // block_size
+
+    def sample(self, rng: np.random.Generator, n: int) -> Tuple[np.ndarray, np.ndarray]:
+        """Produce ``n`` (addrs, writes) drawn from this region."""
+        raise NotImplementedError
+
+    def _to_addrs(self, block_indices: np.ndarray) -> np.ndarray:
+        return (block_indices.astype(np.uint64) * np.uint64(self.block_size)) + np.uint64(
+            self.base
+        )
+
+
+class LoopRegion(Region):
+    """Cyclic sequential sweep over a fixed working set.
+
+    With a working set sized between L2 and the LLC this is the loop-
+    block generator: every pass misses L2, hits the LLC, and travels
+    back clean (``write_prob`` defaults to read-only). ``stride_blocks``
+    models non-unit strides.
+    """
+
+    def __init__(
+        self,
+        base: int,
+        size_bytes: int,
+        block_size: int = 64,
+        write_prob: float = 0.0,
+        stride_blocks: int = 1,
+    ) -> None:
+        super().__init__(base, size_bytes, block_size)
+        if not 0.0 <= write_prob <= 1.0:
+            raise WorkloadError(f"write_prob must be in [0,1], got {write_prob}")
+        self.write_prob = write_prob
+        self.stride_blocks = stride_blocks
+        self._pos = 0
+
+    def sample(self, rng: np.random.Generator, n: int) -> Tuple[np.ndarray, np.ndarray]:
+        steps = np.arange(self._pos, self._pos + n, dtype=np.int64) * self.stride_blocks
+        blocks = steps % self.num_blocks
+        self._pos += n
+        writes = (
+            rng.random(n) < self.write_prob
+            if self.write_prob > 0
+            else np.zeros(n, dtype=bool)
+        )
+        return self._to_addrs(blocks), writes
+
+
+class StreamRegion(Region):
+    """One-directional streaming sweep over a very large extent.
+
+    Models lbm/bwaves-style traversals whose footprint exceeds the LLC:
+    no block is revisited before wrapping. With ``rw_pair=True`` each
+    block is read and then immediately written (read-modify-write
+    streaming, the libquantum/GemsFDTD pattern) — under non-inclusion
+    every fill of such a block into the LLC is *redundant*, because the
+    copy is dirtied in L2 before any LLC reuse.
+    """
+
+    def __init__(
+        self,
+        base: int,
+        size_bytes: int,
+        block_size: int = 64,
+        write_prob: float = 0.0,
+        rw_pair: bool = False,
+    ) -> None:
+        super().__init__(base, size_bytes, block_size)
+        if not 0.0 <= write_prob <= 1.0:
+            raise WorkloadError(f"write_prob must be in [0,1], got {write_prob}")
+        self.write_prob = write_prob
+        self.rw_pair = rw_pair
+        self._pos = 0
+        self._pending_write_block = -1
+
+    def sample(self, rng: np.random.Generator, n: int) -> Tuple[np.ndarray, np.ndarray]:
+        if not self.rw_pair:
+            blocks = np.arange(self._pos, self._pos + n, dtype=np.int64) % self.num_blocks
+            self._pos += n
+            writes = (
+                rng.random(n) < self.write_prob
+                if self.write_prob > 0
+                else np.zeros(n, dtype=bool)
+            )
+            return self._to_addrs(blocks), writes
+
+        blocks = np.empty(n, dtype=np.int64)
+        writes = np.empty(n, dtype=bool)
+        i = 0
+        # Resume a split read/write pair from the previous batch.
+        if self._pending_write_block >= 0 and i < n:
+            blocks[i] = self._pending_write_block
+            writes[i] = True
+            self._pending_write_block = -1
+            i += 1
+        while i < n:
+            blk = self._pos % self.num_blocks
+            self._pos += 1
+            blocks[i] = blk
+            writes[i] = False
+            i += 1
+            if i < n:
+                blocks[i] = blk
+                writes[i] = True
+                i += 1
+            else:
+                self._pending_write_block = blk
+        return self._to_addrs(blocks), writes
+
+
+class RandomRegion(Region):
+    """Uniform random accesses inside a working set.
+
+    With a working set far larger than the LLC this models mcf-style
+    pointer chasing (near-zero reuse); with a small working set it is a
+    generic mixed hot set.
+    """
+
+    def __init__(
+        self,
+        base: int,
+        size_bytes: int,
+        block_size: int = 64,
+        write_prob: float = 0.2,
+    ) -> None:
+        super().__init__(base, size_bytes, block_size)
+        if not 0.0 <= write_prob <= 1.0:
+            raise WorkloadError(f"write_prob must be in [0,1], got {write_prob}")
+        self.write_prob = write_prob
+
+    def sample(self, rng: np.random.Generator, n: int) -> Tuple[np.ndarray, np.ndarray]:
+        blocks = rng.integers(0, self.num_blocks, size=n, dtype=np.int64)
+        writes = rng.random(n) < self.write_prob
+        return self._to_addrs(blocks), writes
+
+
+class HotRegion(RandomRegion):
+    """A small, heavily re-referenced set that fits in upper-level caches.
+
+    Present in every benchmark: it supplies the L1/L2 hits that make
+    real workloads' LLC access rates per instruction realistic, and it
+    is the dominant region of compute-bound benchmarks (blackscholes,
+    swaptions).
+    """
+
+    def __init__(
+        self,
+        base: int,
+        size_bytes: int,
+        block_size: int = 64,
+        write_prob: float = 0.3,
+    ) -> None:
+        super().__init__(base, size_bytes, block_size, write_prob)
+
+
+class WriteBurstRegion(Region):
+    """Blocks that are read and rewritten several times while hot.
+
+    Models bzip2/zeusmp-style dirty reuse: a block is picked, touched
+    ``burst`` times with a high write fraction, then abandoned. Such
+    blocks leave L2 dirty, so they are *never* loop-blocks, and their
+    LLC copies (under non-inclusion) are repeatedly updated.
+    """
+
+    def __init__(
+        self,
+        base: int,
+        size_bytes: int,
+        block_size: int = 64,
+        burst: int = 4,
+        write_prob: float = 0.6,
+    ) -> None:
+        super().__init__(base, size_bytes, block_size)
+        if burst < 1:
+            raise WorkloadError(f"burst must be >= 1, got {burst}")
+        self.burst = burst
+        self.write_prob = write_prob
+        self._current_block = -1
+        self._left_in_burst = 0
+
+    def sample(self, rng: np.random.Generator, n: int) -> Tuple[np.ndarray, np.ndarray]:
+        blocks = np.empty(n, dtype=np.int64)
+        for i in range(n):
+            if self._left_in_burst <= 0:
+                self._current_block = int(rng.integers(0, self.num_blocks))
+                self._left_in_burst = self.burst
+            blocks[i] = self._current_block
+            self._left_in_burst -= 1
+        writes = rng.random(n) < self.write_prob
+        return self._to_addrs(blocks), writes

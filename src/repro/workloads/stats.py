@@ -1,0 +1,131 @@
+"""Trace statistics: footprint, write ratio, reuse distance.
+
+Synthetic workloads are only credible if their *trace-level* statistics
+match the behaviours they claim to model. This module measures, for any
+:class:`~repro.workloads.trace.TraceGenerator`:
+
+- **footprint** — number of distinct blocks touched;
+- **write ratio** — fraction of references that are stores;
+- **reuse-distance profile** — for each reference to a previously seen
+  block, the number of *distinct* blocks touched since its last access
+  (the classic stack-distance metric: a fully-associative LRU cache of
+  capacity C hits exactly the references with distance < C);
+- **cold fraction** — references to never-before-seen blocks.
+
+The reuse-distance computation uses the standard O(N log N)
+Fenwick-tree (binary indexed tree) formulation over last-access
+timestamps.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from ..errors import WorkloadError
+from .trace import TraceGenerator
+
+
+class _Fenwick:
+    """Binary indexed tree over reference timestamps (prefix sums)."""
+
+    def __init__(self, size: int) -> None:
+        self._tree = [0] * (size + 1)
+        self.size = size
+
+    def add(self, index: int, delta: int) -> None:
+        i = index + 1
+        while i <= self.size:
+            self._tree[i] += delta
+            i += i & (-i)
+
+    def prefix_sum(self, index: int) -> int:
+        """Sum of entries in [0, index]."""
+        i = index + 1
+        total = 0
+        while i > 0:
+            total += self._tree[i]
+            i -= i & (-i)
+        return total
+
+
+@dataclass
+class TraceStats:
+    """Aggregate statistics of a measured trace window."""
+
+    references: int
+    footprint_blocks: int
+    write_ratio: float
+    cold_fraction: float
+    reuse_distances: np.ndarray = field(repr=False)
+
+    def reuse_cdf_at(self, capacity_blocks: int) -> float:
+        """Fraction of *reused* references with stack distance below a
+        capacity — the hit rate of a fully-associative LRU cache of that
+        many blocks, over warm references."""
+        if len(self.reuse_distances) == 0:
+            return 0.0
+        return float((self.reuse_distances < capacity_blocks).mean())
+
+    def median_reuse_distance(self) -> Optional[float]:
+        """Median stack distance of warm references (None if no reuse)."""
+        if len(self.reuse_distances) == 0:
+            return None
+        return float(np.median(self.reuse_distances))
+
+    def footprint_bytes(self, block_size: int = 64) -> int:
+        return self.footprint_blocks * block_size
+
+
+def measure_trace(
+    generator: TraceGenerator,
+    n: int,
+    block_size: int = 64,
+    batch: int = 8192,
+) -> TraceStats:
+    """Consume ``n`` references from ``generator`` and profile them."""
+    if n <= 0:
+        raise WorkloadError(f"need a positive window, got {n}")
+    last_pos: Dict[int, int] = {}
+    tree = _Fenwick(n)
+    distances: List[int] = []
+    writes = 0
+    refs_seen = 0
+    cold = 0
+
+    remaining = n
+    while remaining > 0:
+        take = min(batch, remaining)
+        addrs, wflags = generator.batch(take)
+        writes += int(np.asarray(wflags, dtype=bool).sum())
+        blocks = (np.asarray(addrs, dtype=np.uint64) // np.uint64(block_size)).tolist()
+        for blk in blocks:
+            prev = last_pos.get(blk)
+            if prev is None:
+                cold += 1
+            else:
+                # distinct blocks touched strictly after prev:
+                distance = tree.prefix_sum(refs_seen) - tree.prefix_sum(prev)
+                distances.append(distance)
+                tree.add(prev, -1)
+            last_pos[blk] = refs_seen
+            tree.add(refs_seen, 1)
+            refs_seen += 1
+        remaining -= take
+
+    return TraceStats(
+        references=n,
+        footprint_blocks=len(last_pos),
+        write_ratio=writes / n,
+        cold_fraction=cold / n,
+        reuse_distances=np.asarray(distances, dtype=np.int64),
+    )
+
+
+def compare_footprints(
+    generators: Dict[str, TraceGenerator], n: int, block_size: int = 64
+) -> Dict[str, TraceStats]:
+    """Profile several generators over the same window length."""
+    return {name: measure_trace(g, n, block_size) for name, g in generators.items()}

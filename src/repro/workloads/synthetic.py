@@ -1,0 +1,139 @@
+"""Region-composing synthetic trace generator and cache-relative sizing.
+
+:class:`ScaleContext` carries the simulated cache geometry so benchmark
+definitions can size their regions *relative to the caches* ("working
+set larger than L2 but smaller than the LLC") instead of in absolute
+bytes — that is what makes the reproduction scale-invariant (see
+DESIGN.md §2).
+
+:class:`SyntheticTrace` interleaves several :class:`~repro.workloads.
+regions.Region` behaviours with fixed per-reference probabilities.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+import numpy as np
+
+from ..errors import WorkloadError
+from ..utils import require_positive
+from .regions import Region
+from .trace import TraceGenerator
+
+
+@dataclass(frozen=True)
+class ScaleContext:
+    """Cache geometry visible to workload builders.
+
+    ``l2_bytes`` is the *per-core* private L2 capacity and ``llc_bytes``
+    the shared LLC capacity; ``core_span`` is the address-space stride
+    that keeps different cores' private benchmarks disjoint.
+    """
+
+    l1_bytes: int
+    l2_bytes: int
+    llc_bytes: int
+    block_size: int = 64
+    core_span: int = 1 << 40
+
+    def __post_init__(self) -> None:
+        require_positive(self.l1_bytes, "l1_bytes")
+        require_positive(self.l2_bytes, "l2_bytes")
+        require_positive(self.llc_bytes, "llc_bytes")
+        if not self.l1_bytes <= self.l2_bytes <= self.llc_bytes:
+            raise WorkloadError(
+                "expected l1 <= l2 <= llc capacities, got "
+                f"{self.l1_bytes}/{self.l2_bytes}/{self.llc_bytes}"
+            )
+
+    def blocks(self, nbytes: int) -> int:
+        """Round a byte size up to whole blocks (at least one)."""
+        return max(1, nbytes // self.block_size)
+
+    def region_size(self, l2_multiple: float) -> int:
+        """A region size expressed as a multiple of per-core L2 capacity,
+        rounded to whole blocks."""
+        raw = int(self.l2_bytes * l2_multiple)
+        return max(self.block_size, (raw // self.block_size) * self.block_size)
+
+
+class SyntheticTrace(TraceGenerator):
+    """Mixes weighted regions into one reference stream.
+
+    Parameters
+    ----------
+    regions:
+        ``(region, weight)`` pairs; weights are normalised internally.
+    seed:
+        Seed for the trace's private RNG (region choice *and* every
+        region's internal sampling randomness).
+    instr_per_ref:
+        Committed instructions represented by each memory reference
+        (higher for compute-bound benchmarks).
+    """
+
+    def __init__(
+        self,
+        regions: Sequence[Tuple[Region, float]],
+        seed: int,
+        name: str = "synthetic",
+        instr_per_ref: float = 4.0,
+    ) -> None:
+        if not regions:
+            raise WorkloadError("SyntheticTrace needs at least one region")
+        total = sum(w for _, w in regions)
+        if total <= 0:
+            raise WorkloadError("region weights must sum to a positive value")
+        for _, w in regions:
+            if w < 0:
+                raise WorkloadError(f"negative region weight {w}")
+        self.name = name
+        self.instr_per_ref = float(instr_per_ref)
+        self.regions: List[Region] = [r for r, _ in regions]
+        self._probs = np.array([w / total for _, w in regions], dtype=float)
+        self._rng = np.random.default_rng(seed)
+
+    def batch(self, n: int) -> Tuple[np.ndarray, np.ndarray]:
+        if n <= 0:
+            raise WorkloadError(f"batch size must be positive, got {n}")
+        if len(self.regions) == 1:
+            return self.regions[0].sample(self._rng, n)
+        choice = self._rng.choice(len(self.regions), size=n, p=self._probs)
+        addrs = np.empty(n, dtype=np.uint64)
+        writes = np.empty(n, dtype=bool)
+        for idx, region in enumerate(self.regions):
+            mask = choice == idx
+            count = int(mask.sum())
+            if count == 0:
+                continue
+            a, w = region.sample(self._rng, count)
+            addrs[mask] = a
+            writes[mask] = w
+        return addrs, writes
+
+
+class SharedStateTrace(TraceGenerator):
+    """A per-thread view over regions shared with sibling threads.
+
+    Multithreaded workloads build one set of shared :class:`Region`
+    objects and hand each thread a :class:`SharedStateTrace` over them
+    (plus thread-private regions). Because shared regions keep their
+    internal cursors, threads collectively advance shared sweeps the way
+    data-parallel workers split an iteration space.
+    """
+
+    def __init__(
+        self,
+        regions: Sequence[Tuple[Region, float]],
+        seed: int,
+        name: str,
+        instr_per_ref: float = 4.0,
+    ) -> None:
+        self._inner = SyntheticTrace(regions, seed, name, instr_per_ref)
+        self.name = name
+        self.instr_per_ref = float(instr_per_ref)
+
+    def batch(self, n: int) -> Tuple[np.ndarray, np.ndarray]:
+        return self._inner.batch(n)

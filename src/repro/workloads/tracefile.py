@@ -1,0 +1,151 @@
+"""Trace capture and replay.
+
+Synthetic generators are cheap, but two workflows need materialised
+traces: (a) archiving the exact reference stream behind a published
+result, and (b) feeding externally collected traces (e.g. from a binary
+instrumentation tool) into the simulator. Traces are stored as
+compressed ``.npz`` archives holding the address/write arrays plus
+metadata (name, ``instr_per_ref``, capture length).
+
+``save_trace`` materialises N references from any generator;
+``load_trace`` returns a :class:`ReplayTrace` that streams them back
+through the standard :class:`~repro.workloads.trace.TraceGenerator`
+interface (optionally looping when the consumer asks for more
+references than were captured).
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+from typing import Tuple, Union
+
+import numpy as np
+
+from ..errors import WorkloadError
+from .trace import TraceGenerator
+
+FORMAT_VERSION = 1
+
+
+def save_trace(
+    path: Union[str, pathlib.Path],
+    generator: TraceGenerator,
+    n: int,
+    batch: int = 65536,
+) -> pathlib.Path:
+    """Materialise ``n`` references from ``generator`` into ``path``.
+
+    Returns the written path (``.npz`` appended if missing).
+    """
+    if n <= 0:
+        raise WorkloadError(f"trace length must be positive, got {n}")
+    path = pathlib.Path(path)
+    if path.suffix != ".npz":
+        path = path.with_suffix(path.suffix + ".npz")
+    addr_chunks = []
+    write_chunks = []
+    remaining = n
+    while remaining > 0:
+        take = min(batch, remaining)
+        addrs, writes = generator.batch(take)
+        addr_chunks.append(np.asarray(addrs, dtype=np.uint64))
+        write_chunks.append(np.asarray(writes, dtype=bool))
+        remaining -= take
+    meta = {
+        "version": FORMAT_VERSION,
+        "name": generator.name,
+        "instr_per_ref": float(generator.instr_per_ref),
+        "length": int(n),
+    }
+    np.savez_compressed(
+        path,
+        addrs=np.concatenate(addr_chunks),
+        writes=np.concatenate(write_chunks),
+        meta=np.frombuffer(json.dumps(meta).encode(), dtype=np.uint8),
+    )
+    return path
+
+
+class ReplayTrace(TraceGenerator):
+    """Streams a captured trace back in batches.
+
+    ``loop=True`` wraps around at the end (useful for driving arbitrary
+    run lengths); ``loop=False`` raises :class:`WorkloadError` when the
+    capture is exhausted, mirroring :class:`FixedTrace`.
+    """
+
+    def __init__(
+        self,
+        addrs: np.ndarray,
+        writes: np.ndarray,
+        name: str,
+        instr_per_ref: float,
+        loop: bool = True,
+    ) -> None:
+        if len(addrs) != len(writes):
+            raise WorkloadError(
+                f"corrupt trace: {len(addrs)} addresses vs {len(writes)} write flags"
+            )
+        if len(addrs) == 0:
+            raise WorkloadError("empty trace")
+        self._addrs = np.asarray(addrs, dtype=np.uint64)
+        self._writes = np.asarray(writes, dtype=bool)
+        self.name = name
+        self.instr_per_ref = float(instr_per_ref)
+        self.loop = loop
+        self._pos = 0
+        self._consumed = 0
+
+    def __len__(self) -> int:
+        return len(self._addrs)
+
+    def batch(self, n: int) -> Tuple[np.ndarray, np.ndarray]:
+        if n <= 0:
+            raise WorkloadError(f"batch size must be positive, got {n}")
+        total = len(self._addrs)
+        if not self.loop and self._consumed + n > total:
+            raise WorkloadError(
+                f"trace {self.name!r} exhausted: asked for {n}, "
+                f"{total - self._consumed} remain (pass loop=True to wrap)"
+            )
+        self._consumed += n
+        out_a = np.empty(n, dtype=np.uint64)
+        out_w = np.empty(n, dtype=bool)
+        filled = 0
+        while filled < n:
+            take = min(n - filled, total - self._pos)
+            out_a[filled : filled + take] = self._addrs[self._pos : self._pos + take]
+            out_w[filled : filled + take] = self._writes[self._pos : self._pos + take]
+            self._pos = (self._pos + take) % total
+            filled += take
+        return out_a, out_w
+
+
+def load_trace(path: Union[str, pathlib.Path], loop: bool = True) -> ReplayTrace:
+    """Load a trace written by :func:`save_trace`."""
+    path = pathlib.Path(path)
+    if not path.exists() and path.with_suffix(path.suffix + ".npz").exists():
+        path = path.with_suffix(path.suffix + ".npz")
+    try:
+        archive = np.load(path)
+    except (OSError, ValueError) as exc:
+        raise WorkloadError(f"cannot read trace file {path}: {exc}")
+    try:
+        meta = json.loads(bytes(archive["meta"]).decode())
+        addrs = archive["addrs"]
+        writes = archive["writes"]
+    except KeyError as exc:
+        raise WorkloadError(f"trace file {path} missing field {exc}")
+    if meta.get("version") != FORMAT_VERSION:
+        raise WorkloadError(
+            f"trace file {path} has format version {meta.get('version')}; "
+            f"expected {FORMAT_VERSION}"
+        )
+    return ReplayTrace(
+        addrs,
+        writes,
+        name=meta.get("name", path.stem),
+        instr_per_ref=meta.get("instr_per_ref", 4.0),
+        loop=loop,
+    )

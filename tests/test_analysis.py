@@ -1,0 +1,149 @@
+"""Tests for the analysis layer: metrics, tables, figure assembly."""
+
+import pytest
+
+from repro import SystemConfig, make_workload, simulate
+from repro.analysis import (
+    average_over,
+    borderline_slope,
+    classify_wl_wh,
+    epi_saving,
+    favors_exclusion,
+    relative,
+    render_mapping_table,
+    render_table,
+    summarize_columns,
+)
+from repro.errors import AnalysisError
+
+
+class TestTables:
+    def test_render_table_basic(self):
+        out = render_table("T", ["a", "b"], [[1, 2.5], ["x", 0.001]])
+        assert "T" in out and "a" in out and "2.500" in out
+
+    def test_render_table_row_mismatch(self):
+        with pytest.raises(AnalysisError):
+            render_table("T", ["a"], [[1, 2]])
+
+    def test_render_mapping_table(self):
+        out = render_mapping_table("M", {"w1": {"x": 1.0}, "w2": {"x": 2.0}})
+        assert "w1" in out and "w2" in out and "x" in out
+
+    def test_render_mapping_empty_raises(self):
+        with pytest.raises(AnalysisError):
+            render_mapping_table("M", {})
+
+    def test_summarize_columns_average(self):
+        avg = summarize_columns({"a": {"x": 1.0, "y": 4.0}, "b": {"x": 3.0}})
+        assert avg["x"] == 2.0 and avg["y"] == 4.0
+
+    def test_scientific_formatting(self):
+        out = render_table("T", ["v"], [[1.2e-10]])
+        assert "e-10" in out
+
+
+class TestMetricHelpers:
+    @pytest.fixture(scope="class")
+    def runs(self):
+        system = SystemConfig.scaled(ncores=2, llc_kb=32, l2_kb=4)
+        out = {}
+        for pol in ("non-inclusive", "exclusive"):
+            wl = make_workload("omnetpp", system)
+            out[pol] = simulate(system, pol, wl, refs_per_core=4000)
+        return out
+
+    def test_epi_saving_sign(self, runs):
+        saving = epi_saving(runs["exclusive"], runs["non-inclusive"])
+        assert saving < 0  # omnetpp: exclusion is worse
+
+    def test_relative_ratio(self, runs):
+        wrel = relative(runs["exclusive"], runs["non-inclusive"], "llc_writes")
+        assert wrel > 1.0
+
+    def test_classify_wh(self, runs):
+        assert classify_wl_wh(runs["non-inclusive"], runs["exclusive"]) == "WH"
+
+    def test_favors_exclusion_false_for_loops(self, runs):
+        assert not favors_exclusion(runs["non-inclusive"], runs["exclusive"])
+
+    def test_borderline_slope_negative(self):
+        # Synthetic Fig. 13 cloud: high Wrel disfavours exclusion.
+        points = [
+            (0.4, 1.5, True),
+            (0.7, 1.1, True),
+            (0.95, 0.85, True),
+            (0.5, 2.4, False),
+            (0.75, 2.0, False),
+            (1.0, 1.6, False),
+        ]
+        slope = borderline_slope(points)
+        assert slope < 0
+
+    def test_borderline_needs_both_classes(self):
+        with pytest.raises(AnalysisError):
+            borderline_slope([(1.0, 1.0, True)])
+
+    def test_average_over_subset(self):
+        rows = {"WL1": {"x": 1.0}, "WL2": {"x": 3.0}, "WH1": {"x": 9.0}}
+        assert average_over(rows, ["WL1", "WL2"])["x"] == 2.0
+
+    def test_average_over_missing_raises(self):
+        with pytest.raises(AnalysisError):
+            average_over({"a": {"x": 1}}, ["zzz"])
+
+
+class TestFigureAssembly:
+    """Smoke tests of the per-figure functions on tiny runs."""
+
+    def test_fig4_structure(self):
+        from repro.analysis.figures import fig4_loop_blocks
+
+        rows = fig4_loop_blocks(refs=2500, benchmarks=("omnetpp", "lbm"))
+        assert set(rows) == {"omnetpp", "lbm"}
+        for cols in rows.values():
+            assert 0 <= cols["loop_fraction"] <= 1
+
+    def test_fig13_structure(self):
+        from repro.analysis.figures import fig13_scatter
+
+        rows = fig13_scatter(refs=2500, mixes=("WL2", "WH1"))
+        for cols in rows.values():
+            assert cols["Mrel"] > 0 and cols["Wrel"] > 0
+            assert cols["favors_exclusion"] in (0.0, 1.0)
+
+    def test_fig15_rows_contain_classes(self):
+        from repro.analysis.figures import fig15_write_breakdown
+
+        rows = fig15_write_breakdown(refs=2500, mixes=("WH1",))
+        assert "WH1/lap" in rows
+        lap = rows["WH1/lap"]
+        assert lap["fill"] == 0.0  # LAP never fills
+        assert lap["total"] == pytest.approx(
+            lap["fill"] + lap["l2_dirty"] + lap["l2_clean"]
+        )
+
+    def test_table_rows_static(self):
+        from repro.analysis.figures import (
+            table1_rows,
+            table2_rows,
+            table3_rows,
+            table4_rows,
+        )
+
+        assert len(table1_rows()) == 6
+        assert len(table3_rows()) == 10
+        assert any("lap" == r[0] for r in table4_rows())
+        rows = table2_rows(SystemConfig.scaled())
+        assert any("cores" in str(r[0]) for r in rows)
+
+    def test_fig23_curve_monotone_shape(self):
+        from repro.analysis.figures import fig23_energy_ratio
+
+        curve, published = fig23_energy_ratio(
+            refs=2500, ratios=(2, 10), mixes=("WH1",), include_published=False
+        )
+        assert len(curve) == 2 and not published
+        low = curve["ratio=2"]["epi_saving"]
+        high = curve["ratio=10"]["epi_saving"]
+        assert high > low

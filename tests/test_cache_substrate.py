@@ -1,0 +1,261 @@
+"""Unit tests for the cache substrate: blocks, sets, Cache operations."""
+
+import pytest
+
+from repro.cache import Cache, CacheBlock, CacheSet, LRUPolicy
+from repro.errors import ConfigurationError
+
+BLOCK = 64
+
+
+class TestCacheBlock:
+    def test_starts_invalid(self):
+        b = CacheBlock(way=0)
+        assert not b.valid and not b.dirty and not b.loop_bit
+
+    def test_fill_sets_metadata(self):
+        b = CacheBlock(way=1, tech="stt")
+        b.fill(0x12, dirty=True, loop_bit=True, now=7)
+        assert b.valid and b.dirty and b.loop_bit
+        assert b.tag == 0x12 and b.last_access == 7 and b.tech == "stt"
+
+    def test_reset_clears_everything_but_geometry(self):
+        b = CacheBlock(way=3, tech="stt")
+        b.fill(0x5, dirty=True, loop_bit=True, now=2)
+        b.reset()
+        assert not b.valid and not b.dirty and not b.loop_bit
+        assert b.way == 3 and b.tech == "stt"
+
+
+class TestCacheSet:
+    def _set(self, ways=4, techs=None):
+        return CacheSet(0, ways, techs or ["sram"] * ways)
+
+    def test_find_missing_returns_none(self):
+        assert self._set().find(0x1) is None
+
+    def test_install_then_find(self):
+        s = self._set()
+        s.install(s.blocks[0], 0x1, dirty=False, loop_bit=False, now=1)
+        assert s.find(0x1) is s.blocks[0]
+
+    def test_install_replaces_old_tag(self):
+        s = self._set()
+        s.install(s.blocks[0], 0x1, dirty=False, loop_bit=False, now=1)
+        s.install(s.blocks[0], 0x2, dirty=False, loop_bit=False, now=2)
+        assert s.find(0x1) is None
+        assert s.find(0x2) is s.blocks[0]
+
+    def test_drop_removes_from_map(self):
+        s = self._set()
+        s.install(s.blocks[1], 0x9, dirty=True, loop_bit=False, now=1)
+        s.drop(s.blocks[1])
+        assert s.find(0x9) is None and s.occupancy() == 0
+
+    def test_region_blocks_filters_by_tech(self):
+        s = self._set(4, ["sram", "sram", "stt", "stt"])
+        assert len(s.region_blocks("sram")) == 2
+        assert len(s.region_blocks("stt")) == 2
+        assert len(s.region_blocks(None)) == 4
+
+    def test_valid_blocks(self):
+        s = self._set()
+        s.install(s.blocks[2], 0x3, dirty=False, loop_bit=False, now=1)
+        assert s.valid_blocks() == [s.blocks[2]]
+
+
+class TestCacheGeometry:
+    def test_derived_sets(self):
+        c = Cache("c", 4096, 4, BLOCK)
+        assert c.num_sets == 16
+
+    def test_block_align(self):
+        c = Cache("c", 4096, 4, BLOCK)
+        assert c.block_addr(0x12345) == 0x12345 & ~63
+
+    def test_set_index_and_tag_roundtrip(self):
+        c = Cache("c", 4096, 4, BLOCK)
+        addr = c.addr_of(5, 0x7)
+        assert c.set_index(addr) == 5
+        assert c.tag_of(addr) == 0x7
+
+    def test_bank_interleaving(self):
+        c = Cache("c", 4096, 4, BLOCK, banks=4)
+        banks = {c.bank_of(i * BLOCK) for i in range(8)}
+        assert banks == {0, 1, 2, 3}
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            dict(size_bytes=1000, assoc=4),
+            dict(size_bytes=4096, assoc=0),
+            dict(size_bytes=4096, assoc=4, block_size=100),
+            dict(size_bytes=4096, assoc=4, tech="dram"),
+            dict(size_bytes=4096, assoc=4, sram_ways=4),
+            dict(size_bytes=4096, assoc=4, sram_ways=0),
+        ],
+    )
+    def test_invalid_geometry_rejected(self, kwargs):
+        kwargs.setdefault("block_size", BLOCK)
+        with pytest.raises(ConfigurationError):
+            Cache("bad", **kwargs)
+
+    def test_hybrid_way_partition(self):
+        c = Cache("h", 4096, 4, BLOCK, sram_ways=1)
+        techs = [b.tech for b in c.sets[0].blocks]
+        assert techs == ["sram", "stt", "stt", "stt"]
+        assert c.hybrid
+
+
+class TestCacheOperations:
+    def _cache(self, **kw):
+        kw.setdefault("tech", "stt")
+        return Cache("c", 4096, 4, BLOCK, replacement=LRUPolicy(), **kw)
+
+    def test_lookup_miss_counts(self):
+        c = self._cache()
+        assert c.lookup(0) is None
+        assert c.stats.lookups == 1 and c.stats.misses == 1 and c.stats.hits == 0
+
+    def test_insert_then_hit(self):
+        c = self._cache()
+        c.insert(0, dirty=False)
+        block = c.lookup(0)
+        assert block is not None and c.stats.hits == 1
+        assert c.stats.data_reads_stt == 1
+
+    def test_store_hit_sets_dirty_and_counts_write(self):
+        c = self._cache()
+        c.insert(0, dirty=False)
+        block = c.lookup(0, is_write=True)
+        assert block.dirty
+        # one write for the insert, one for the store hit
+        assert c.stats.data_writes_stt == 2
+
+    def test_insert_into_free_way_returns_none(self):
+        c = self._cache()
+        assert c.insert(0, dirty=False) is None
+
+    def test_insert_evicts_lru_when_full(self):
+        c = self._cache()
+        addrs = [c.addr_of(0, t) for t in range(5)]
+        for a in addrs[:4]:
+            c.insert(a, dirty=False)
+        c.lookup(addrs[1])  # make tag1 recently used; tag0 stays LRU
+        evicted = c.insert(addrs[4], dirty=False)
+        assert evicted is not None and evicted.addr == addrs[0]
+        assert c.stats.evictions == 1
+
+    def test_evicted_line_carries_flags(self):
+        c = self._cache()
+        a0 = c.addr_of(0, 0)
+        c.insert(a0, dirty=True, loop_bit=True)
+        for t in range(1, 4):
+            c.insert(c.addr_of(0, t), dirty=False)
+        evicted = c.insert(c.addr_of(0, 9), dirty=False)
+        assert evicted.addr == a0 and evicted.dirty and evicted.loop_bit
+        assert c.stats.dirty_evictions == 1
+
+    def test_update_marks_dirty_and_counts(self):
+        c = self._cache()
+        c.insert(0, dirty=False)
+        c.update(c.peek(0), dirty=True)
+        assert c.peek(0).dirty
+        assert c.stats.data_writes_stt == 2
+
+    def test_update_keeps_dirty_when_writing_clean(self):
+        c = self._cache()
+        c.insert(0, dirty=True)
+        c.update(c.peek(0), dirty=False)
+        assert c.peek(0).dirty
+
+    def test_invalidate_returns_snapshot(self):
+        c = self._cache()
+        c.insert(0, dirty=True)
+        line = c.invalidate(0)
+        assert line.dirty and line.addr == 0
+        assert c.peek(0) is None and c.stats.invalidations == 1
+
+    def test_invalidate_missing_returns_none(self):
+        c = self._cache()
+        assert c.invalidate(0) is None
+
+    def test_probe_counts_tag_only(self):
+        c = self._cache()
+        c.insert(0, dirty=False)
+        before_reads = c.stats.data_reads_stt
+        assert c.probe(0) is not None
+        assert c.stats.data_reads_stt == before_reads
+        assert c.stats.hits == 0  # probes are not demand hits
+
+    def test_peek_counts_nothing(self):
+        c = self._cache()
+        c.insert(0, dirty=False)
+        probes = c.stats.tag_probes
+        c.peek(0)
+        assert c.stats.tag_probes == probes
+
+    def test_region_insert_respects_partition(self):
+        c = Cache("h", 4096, 4, BLOCK, sram_ways=2)
+        for t in range(3):
+            c.insert(c.addr_of(0, t), dirty=False, region="sram")
+        blocks = [b for b in c.sets[0].blocks if b.valid]
+        assert all(b.tech == "sram" for b in blocks)
+        # the third SRAM insert evicted one of the two SRAM ways
+        assert c.stats.evictions == 1
+
+    def test_region_insert_missing_region_raises(self):
+        c = self._cache()  # homogeneous stt: no sram ways
+        with pytest.raises(ConfigurationError):
+            c.insert(0, dirty=False, region="sram")
+
+    def test_migrate_block_moves_between_regions(self):
+        c = Cache("h", 4096, 4, BLOCK, sram_ways=2)
+        a = c.addr_of(0, 1)
+        c.insert(a, dirty=True, loop_bit=True, region="sram")
+        src = c.peek(a)
+        dst = next(b for b in c.sets[0].blocks if b.tech == "stt")
+        c.migrate_block(c.sets[0], src, dst)
+        moved = c.peek(a)
+        assert moved is dst and moved.dirty and moved.loop_bit
+        assert c.stats.migrations == 1
+        assert c.stats.data_reads_sram == 1 and c.stats.data_writes_stt == 1
+
+    def test_migrate_rejects_invalid_source(self):
+        c = Cache("h", 4096, 4, BLOCK, sram_ways=2)
+        with pytest.raises(ConfigurationError):
+            c.migrate_block(c.sets[0], c.sets[0].blocks[0], c.sets[0].blocks[2])
+
+    def test_migrate_rejects_occupied_destination(self):
+        c = Cache("h", 4096, 4, BLOCK, sram_ways=2)
+        a, b = c.addr_of(0, 1), c.addr_of(0, 2)
+        c.insert(a, dirty=False, region="sram")
+        c.insert(b, dirty=False, region="stt")
+        with pytest.raises(ConfigurationError):
+            c.migrate_block(c.sets[0], c.peek(a), c.peek(b))
+
+    def test_occupancy_counts(self):
+        c = self._cache()
+        for t in range(3):
+            c.insert(c.addr_of(2, t), dirty=False)
+        assert c.occupancy() == 3
+
+    def test_loop_block_occupancy(self):
+        c = self._cache()
+        c.insert(c.addr_of(0, 0), dirty=False, loop_bit=True)
+        c.insert(c.addr_of(0, 1), dirty=False, loop_bit=False)
+        valid, loops = c.loop_block_occupancy()
+        assert (valid, loops) == (2, 1)
+
+    def test_resident_addrs_roundtrip(self):
+        c = self._cache()
+        addrs = {c.addr_of(3, 5), c.addr_of(7, 1)}
+        for a in addrs:
+            c.insert(a, dirty=False)
+        assert set(c.resident_addrs()) == addrs
+
+    def test_reset_stats_preserves_contents(self):
+        c = self._cache()
+        c.insert(0, dirty=False)
+        c.reset_stats()
+        assert c.stats.insertions == 0 and c.peek(0) is not None

@@ -1,0 +1,74 @@
+"""Tests for the ASCII chart renderers."""
+
+import pytest
+
+from repro.analysis.charts import render_bars, render_grouped_bars, render_scatter
+from repro.errors import AnalysisError
+
+
+class TestBars:
+    def test_longest_bar_is_max_value(self):
+        out = render_bars("t", {"a": 1.0, "b": 2.0}, width=10)
+        lines = out.splitlines()
+        bar_a = lines[2].count("█")
+        bar_b = lines[3].count("█")
+        assert bar_b == 10 and bar_a == 5
+
+    def test_values_printed(self):
+        out = render_bars("t", {"a": 0.5}, fmt="{:.2f}")
+        assert "0.50" in out
+
+    def test_reference_marker(self):
+        out = render_bars("t", {"a": 0.5, "b": 2.0}, reference=1.0)
+        assert "reference=1.000" in out
+        assert "|" in out.splitlines()[2]  # a's bar stops before the marker
+
+    def test_empty_rejected(self):
+        with pytest.raises(AnalysisError):
+            render_bars("t", {})
+
+    def test_nonpositive_rejected(self):
+        with pytest.raises(AnalysisError):
+            render_bars("t", {"a": 0.0})
+
+    def test_partial_cells_render(self):
+        out = render_bars("t", {"a": 1.0, "b": 0.55}, width=10)
+        assert any(c in out for c in "▏▎▍▌▋▊▉")
+
+
+class TestGroupedBars:
+    def test_one_group_per_row(self):
+        out = render_grouped_bars("G", {"WL1": {"x": 1.0}, "WH1": {"x": 1.2}})
+        assert "WL1" in out and "WH1" in out
+
+    def test_empty_rejected(self):
+        with pytest.raises(AnalysisError):
+            render_grouped_bars("G", {})
+
+
+class TestScatter:
+    def test_markers_placed(self):
+        out = render_scatter(
+            "S", [(0.0, 0.0, "o"), (1.0, 1.0, "+")], width=20, height=8
+        )
+        assert "o" in out and "+" in out
+
+    def test_extremes_on_grid_corners(self):
+        out = render_scatter("S", [(0.0, 0.0, "A"), (2.0, 4.0, "B")], width=20, height=8)
+        lines = out.splitlines()
+        # B at max y appears on the first grid line, A on the last
+        first_grid = lines[2]
+        last_grid = lines[2 + 8 - 1]
+        assert "B" in first_grid and "A" in last_grid
+
+    def test_axis_labels(self):
+        out = render_scatter("S", [(0, 0, "x"), (1, 2, "y")], xlabel="Mrel", ylabel="Wrel")
+        assert "Mrel" in out and "Wrel" in out
+
+    def test_degenerate_single_point(self):
+        out = render_scatter("S", [(1.0, 1.0, "*")])
+        assert "*" in out
+
+    def test_empty_rejected(self):
+        with pytest.raises(AnalysisError):
+            render_scatter("S", [])

@@ -1,0 +1,142 @@
+"""Tests for the dead-write bypass extension (Section VII combination)."""
+
+import pytest
+
+from repro.core.deadwrite import (
+    DeadWriteBypassExclusive,
+    DeadWriteBypassLAP,
+    DeadWritePredictor,
+)
+from repro.errors import ConfigurationError
+from tests.conftest import A, B, C, D, E, F, G, H, build_micro, run_refs
+
+
+def reads(*addrs):
+    return [(a, False) for a in addrs]
+
+
+def writes(*addrs):
+    return [(a, True) for a in addrs]
+
+
+class TestPredictor:
+    def test_cold_regions_not_bypassed(self):
+        p = DeadWritePredictor()
+        assert not p.predicts_dead(0x1000)
+
+    def test_dead_training_lowers_counter(self):
+        p = DeadWritePredictor(initial=1)
+        p.train(0x1000, reused=False)
+        assert p.predicts_dead(0x1000)
+
+    def test_reuse_training_recovers(self):
+        p = DeadWritePredictor(initial=1)
+        p.train(0x1000, reused=False)
+        p.train(0x1000, reused=True)
+        assert not p.predicts_dead(0x1000)
+
+    def test_counters_saturate(self):
+        p = DeadWritePredictor(max_level=3, initial=2)
+        for _ in range(10):
+            p.train(0x1000, reused=True)
+        for _ in range(3):
+            p.train(0x1000, reused=False)
+        assert p.predicts_dead(0x1000)
+
+    def test_regions_independent(self):
+        p = DeadWritePredictor(initial=1)
+        p.train(0x0, reused=False)
+        other = 0x1000 * 7  # different page, different bucket
+        assert p.predicts_dead(0x0)
+        assert not p.predicts_dead(other)
+
+    def test_same_page_shares_bucket(self):
+        p = DeadWritePredictor(initial=1)
+        p.train(0x1000, reused=False)
+        assert p.predicts_dead(0x1040)  # same 4KB page
+
+    @pytest.mark.parametrize("kwargs", [dict(table_size=1000), dict(initial=0), dict(initial=5)])
+    def test_invalid_parameters(self, kwargs):
+        with pytest.raises(ConfigurationError):
+            DeadWritePredictor(**{"max_level": 3, **kwargs})
+
+    def test_training_stats(self):
+        p = DeadWritePredictor()
+        p.train(0, reused=True)
+        p.train(0, reused=False)
+        p.record_bypass()
+        assert (p.trained_live, p.trained_dead, p.bypassed) == (1, 1, 1)
+
+
+class TestBypassPolicies:
+    def test_registry_names(self):
+        from repro.core.policies import make_policy
+
+        assert make_policy("lap+dwb").name == "lap+dwb"
+        assert make_policy("exclusive+dwb").name == "exclusive+dwb"
+
+    def test_dirty_victims_never_bypassed(self):
+        h = build_micro(DeadWriteBypassExclusive(initial=1))
+        # Poison the predictor so everything clean would be bypassed.
+        for page in range(16):
+            h.policy.predictor.train(page << 12, reused=False)
+        run_refs(h, writes(A) + reads(B, C, D, E, F, G, H))
+        s = h.llc.stats
+        assert s.dirty_victim_writes + s.update_writes == 1
+
+    def test_trained_dead_region_is_bypassed(self):
+        h = build_micro(DeadWriteBypassExclusive(initial=1))
+        h.policy.predictor.train(A, reused=False)  # page of A..H is dead
+        before = h.llc.stats.clean_victim_writes
+        run_refs(h, reads(A, B, C, D, E, F, G, H))
+        assert h.llc.stats.clean_victim_writes == before
+        assert h.policy.predictor.bypassed >= 4
+
+    def test_untrained_region_inserts_normally(self):
+        h = build_micro(DeadWriteBypassExclusive())
+        run_refs(h, reads(A, B, C, D, E, F, G, H))
+        assert h.llc.stats.clean_victim_writes == 4
+
+    def test_training_happens_on_llc_evictions(self):
+        # 2-way LLC set: clean inserts evict each other unreused.
+        h = build_micro(DeadWriteBypassExclusive(), llc_bytes=128, llc_assoc=2)
+        addrs = [i * 64 for i in range(12)]
+        run_refs(h, reads(*addrs))
+        assert h.policy.predictor.trained_dead > 0
+
+    def test_lap_dwb_keeps_lap_semantics(self):
+        h = build_micro(DeadWriteBypassLAP())
+        run_refs(h, reads(A, B, C, D, E, F, G, H))
+        assert h.llc.stats.fill_writes == 0  # still LAP: no fills
+        run_refs(h, reads(A))
+        assert h.llc.peek(A) is not None  # still LAP: no hit-invalidation
+
+    def test_lap_dwb_never_bypasses_duplicate_updates(self):
+        """Clean victims with a duplicate still refresh the loop-bit."""
+        h = build_micro(DeadWriteBypassLAP(initial=1))
+        run_refs(h, reads(A, B, C, D, E, F, G, H))
+        h.policy.predictor.train(A, reused=False)
+        run_refs(h, reads(A))
+        run_refs(h, reads(E, F, G, H))  # clean trip with duplicate present
+        assert h.llc.peek(A).loop_bit
+
+
+class TestBypassEndToEnd:
+    def test_bypass_reduces_writes_on_streaming(self, small_system):
+        from repro import make_workload, simulate
+
+        res = {}
+        for pol in ("exclusive", "exclusive+dwb"):
+            wl = make_workload("bwaves", small_system)
+            res[pol] = simulate(small_system, pol, wl, refs_per_core=8000)
+        assert res["exclusive+dwb"].llc_writes < res["exclusive"].llc_writes
+        assert res["exclusive+dwb"].epi < res["exclusive"].epi
+
+    def test_combination_compounds_with_lap(self, small_system):
+        from repro import make_workload, simulate
+
+        res = {}
+        for pol in ("lap", "lap+dwb"):
+            wl = make_workload("bwaves", small_system)
+            res[pol] = simulate(small_system, pol, wl, refs_per_core=8000)
+        assert res["lap+dwb"].llc_writes <= res["lap"].llc_writes

@@ -1,0 +1,105 @@
+"""Unit tests for the set-dueling controller."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.inclusion.dueling import (
+    ROLE_FOLLOWER,
+    ROLE_LEADER_A,
+    ROLE_LEADER_B,
+    SetDueling,
+    fewer_misses_wins,
+)
+
+
+class TestRoles:
+    def test_leader_density_is_one_per_period(self):
+        d = SetDueling(num_sets=128, period=64, interval=10)
+        roles = [d.role(i) for i in range(128)]
+        assert roles.count(ROLE_LEADER_A) == 2
+        assert roles.count(ROLE_LEADER_B) == 2
+        assert roles.count(ROLE_FOLLOWER) == 124
+
+    def test_leader_positions(self):
+        d = SetDueling(num_sets=128, period=64, interval=10)
+        assert d.role(0) == ROLE_LEADER_A
+        assert d.role(64) == ROLE_LEADER_A
+        assert d.role(32) == ROLE_LEADER_B
+        assert d.role(96) == ROLE_LEADER_B
+
+    def test_period_shrinks_for_small_caches(self):
+        d = SetDueling(num_sets=8, period=64, interval=10)
+        assert d.role(0) == ROLE_LEADER_A
+        assert d.role(4) == ROLE_LEADER_B
+
+    def test_single_set_degenerates_to_follower(self):
+        d = SetDueling(num_sets=1, period=64, interval=10)
+        assert d.degenerate
+        assert d.role(0) == ROLE_FOLLOWER
+        assert not d.tick()
+
+    def test_rejects_bad_interval(self):
+        with pytest.raises(ConfigurationError):
+            SetDueling(num_sets=64, period=64, interval=0)
+
+
+class TestDecisions:
+    def test_followers_track_winner(self):
+        d = SetDueling(num_sets=128, period=64, interval=4)
+        assert d.policy_for(1) == ROLE_LEADER_A  # initial winner
+        # leader A misses a lot
+        for _ in range(5):
+            d.record_miss(0)
+        for _ in range(4):
+            d.tick()
+        assert d.winner == ROLE_LEADER_B
+        assert d.policy_for(1) == ROLE_LEADER_B
+
+    def test_leaders_never_follow(self):
+        d = SetDueling(num_sets=128, period=64, interval=4)
+        for _ in range(5):
+            d.record_miss(0)
+        for _ in range(4):
+            d.tick()
+        assert d.policy_for(0) == ROLE_LEADER_A
+        assert d.policy_for(32) == ROLE_LEADER_B
+
+    def test_ties_prefer_leader_a(self):
+        assert fewer_misses_wins(3, 0, 3, 0) == ROLE_LEADER_A
+
+    def test_interval_counters_reset(self):
+        d = SetDueling(num_sets=128, period=64, interval=2)
+        d.record_miss(0)
+        d.tick()
+        d.tick()  # decision taken
+        assert d.stats.leader_a_misses == 0
+        assert d.stats.intervals == 1
+
+    def test_follower_misses_ignored(self):
+        d = SetDueling(num_sets=128, period=64, interval=100)
+        d.record_miss(1)  # follower set
+        assert d.stats.leader_a_misses == 0
+        assert d.stats.leader_b_misses == 0
+
+    def test_write_counters_feed_decision(self):
+        calls = {}
+
+        def spy(miss_a, write_a, miss_b, write_b):
+            calls["args"] = (miss_a, write_a, miss_b, write_b)
+            return ROLE_LEADER_B
+
+        d = SetDueling(num_sets=128, period=64, interval=1, winner_fn=spy)
+        d.record_write(0)
+        d.record_write(32)
+        d.record_write(32)
+        d.record_miss(32)
+        d.tick()
+        assert calls["args"] == (0, 1, 1, 2)
+        assert d.winner == ROLE_LEADER_B
+
+    def test_decision_counts_accumulate(self):
+        d = SetDueling(num_sets=128, period=64, interval=1)
+        for _ in range(3):
+            d.tick()
+        assert d.stats.decisions_a == 3
+        assert d.stats.decisions_b == 0

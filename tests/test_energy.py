@@ -1,0 +1,207 @@
+"""Tests for technology parameters and the EPI energy model."""
+
+import math
+
+import pytest
+
+from repro.cache.stats import CacheStats
+from repro.energy import (
+    L3_TAG,
+    MB,
+    PUBLISHED_CONFIGS,
+    RAW_TABLE1,
+    SRAM,
+    STT_RAM,
+    LLCEnergyModel,
+    technology_by_name,
+)
+from repro.errors import ConfigurationError
+
+
+class TestTechnologyParams:
+    def test_table1_sram_values(self):
+        assert SRAM.read_energy_nj == 0.072
+        assert SRAM.write_energy_nj == 0.056
+        assert SRAM.leakage_mw_per_mb == pytest.approx(50.736 / 2)
+
+    def test_table1_stt_values(self):
+        assert STT_RAM.read_energy_nj == 0.133
+        assert STT_RAM.write_energy_nj == 0.436
+        assert STT_RAM.leakage_mw_per_mb == pytest.approx(7.108 / 2)
+
+    def test_stt_write_read_asymmetry(self):
+        assert STT_RAM.write_read_ratio == pytest.approx(0.436 / 0.133)
+        assert SRAM.write_read_ratio < 1.0
+
+    def test_stt_density_advantage(self):
+        # Table I: 3x higher density (lower area per MB).
+        assert SRAM.area_mm2_per_mb / STT_RAM.area_mm2_per_mb > 2.5
+
+    def test_stt_leakage_advantage(self):
+        # Table I: ~7x less leakage.
+        assert SRAM.leakage_mw_per_mb / STT_RAM.leakage_mw_per_mb > 6
+
+    def test_ratio_scaling_fixes_read_and_leakage(self):
+        scaled = STT_RAM.with_write_read_ratio(8.0)
+        assert scaled.read_energy_nj == STT_RAM.read_energy_nj
+        assert scaled.leakage_mw_per_mb == STT_RAM.leakage_mw_per_mb
+        assert scaled.write_read_ratio == pytest.approx(8.0)
+
+    def test_ratio_scaling_rejects_nonpositive(self):
+        with pytest.raises(ConfigurationError):
+            STT_RAM.with_write_read_ratio(0)
+
+    def test_lookup_by_name(self):
+        assert technology_by_name("sram") is SRAM
+        assert technology_by_name("stt") is STT_RAM
+        with pytest.raises(ConfigurationError):
+            technology_by_name("pcm")
+
+    def test_raw_table1_complete(self):
+        for tech in ("sram", "stt"):
+            assert set(RAW_TABLE1[tech]) == {
+                "area_mm2",
+                "read_latency_ns",
+                "write_latency_ns",
+                "read_energy_nj",
+                "write_energy_nj",
+                "leakage_mw",
+            }
+
+    def test_published_configs_materialize(self):
+        for cfg in PUBLISHED_CONFIGS:
+            tech = cfg.technology()
+            assert tech.write_read_ratio == pytest.approx(cfg.write_read_ratio)
+            assert tech.write_latency_cycles >= tech.read_latency_cycles
+
+    def test_published_config_ratios_span_figure_axis(self):
+        ratios = [c.write_read_ratio for c in PUBLISHED_CONFIGS]
+        assert min(ratios) < 3 and max(ratios) > 20
+
+
+class TestEnergyModel:
+    def _stats(self, reads_stt=0, writes_stt=0, reads_sram=0, writes_sram=0, probes=0):
+        s = CacheStats()
+        s.data_reads_stt = reads_stt
+        s.data_writes_stt = writes_stt
+        s.data_reads_sram = reads_sram
+        s.data_writes_sram = writes_sram
+        s.tag_probes = probes
+        return s
+
+    def test_dynamic_energy_exact(self):
+        model = LLCEnergyModel(0, MB, leakage_compensation=1.0)
+        r = model.compute(self._stats(reads_stt=10, writes_stt=5), cycles=0, instructions=1)
+        assert r.dynamic_read_j == pytest.approx(10 * 0.133e-9)
+        assert r.dynamic_write_j == pytest.approx(5 * 0.436e-9)
+
+    def test_tag_energy_counted(self):
+        model = LLCEnergyModel(0, MB, leakage_compensation=1.0)
+        r = model.compute(self._stats(probes=100), cycles=0, instructions=1)
+        assert r.tag_dynamic_j == pytest.approx(100 * 0.015e-9)
+
+    def test_leakage_scales_with_time(self):
+        model = LLCEnergyModel(0, MB, leakage_compensation=1.0)
+        r1 = model.compute(self._stats(), cycles=3_000_000, instructions=1)
+        r2 = model.compute(self._stats(), cycles=6_000_000, instructions=1)
+        assert r2.static_j == pytest.approx(2 * r1.static_j)
+
+    def test_leakage_includes_tags(self):
+        model = LLCEnergyModel(0, MB, leakage_compensation=1.0)
+        expected_w = (STT_RAM.leakage_mw_per_mb + L3_TAG.leakage_mw_per_mb) * 1e-3
+        assert model.leakage_watts() == pytest.approx(expected_w)
+
+    def test_hybrid_leakage_mixes_regions(self):
+        model = LLCEnergyModel(MB, 3 * MB, leakage_compensation=1.0)
+        expected_w = (
+            SRAM.leakage_mw_per_mb * 1
+            + STT_RAM.leakage_mw_per_mb * 3
+            + L3_TAG.leakage_mw_per_mb * 4
+        ) * 1e-3
+        assert model.leakage_watts() == pytest.approx(expected_w)
+
+    def test_hybrid_dynamic_split_by_region(self):
+        model = LLCEnergyModel(MB, MB, leakage_compensation=1.0)
+        r = model.compute(
+            self._stats(writes_stt=10, writes_sram=10), cycles=0, instructions=1
+        )
+        assert r.dynamic_write_j == pytest.approx(10 * 0.436e-9 + 10 * 0.056e-9)
+
+    def test_epi_divides_by_instructions(self):
+        model = LLCEnergyModel(0, MB, leakage_compensation=1.0)
+        r = model.compute(self._stats(writes_stt=1000), cycles=0, instructions=2000)
+        assert r.epi == pytest.approx(r.total_j / 2000)
+
+    def test_epi_rejects_zero_instructions(self):
+        model = LLCEnergyModel(0, MB)
+        r = model.compute(self._stats(), cycles=10, instructions=0)
+        with pytest.raises(ConfigurationError):
+            _ = r.epi
+
+    def test_static_share_bounds(self):
+        model = LLCEnergyModel(0, MB)
+        r = model.compute(self._stats(writes_stt=50), cycles=100000, instructions=10)
+        assert 0.0 < r.static_share < 1.0
+
+    def test_homogeneous_constructor_sram(self):
+        model = LLCEnergyModel.homogeneous(SRAM, MB)
+        assert model.sram_bytes == MB and model.stt_bytes == 0
+
+    def test_homogeneous_constructor_scaled_stt(self):
+        scaled = STT_RAM.with_write_read_ratio(10)
+        model = LLCEnergyModel.homogeneous(scaled, MB)
+        assert model.stt_bytes == MB and model.stt is scaled
+
+    def test_zero_capacity_rejected(self):
+        with pytest.raises(ConfigurationError):
+            LLCEnergyModel(0, 0)
+
+    def test_compensation_multiplies_leakage_only(self):
+        m1 = LLCEnergyModel(0, MB, leakage_compensation=1.0)
+        m2 = LLCEnergyModel(0, MB, leakage_compensation=8.0)
+        s = self._stats(writes_stt=3)
+        r1 = m1.compute(s, cycles=1000, instructions=1)
+        r2 = m2.compute(s, cycles=1000, instructions=1)
+        assert r2.static_j == pytest.approx(8 * r1.static_j)
+        assert r2.dynamic_j == pytest.approx(r1.dynamic_j)
+
+    def test_write_read_ratio_sweep_monotone_dynamic(self):
+        s = self._stats(reads_stt=100, writes_stt=100)
+        energies = []
+        for ratio in (2, 4, 8, 16):
+            model = LLCEnergyModel.homogeneous(STT_RAM.with_write_read_ratio(ratio), MB)
+            energies.append(model.compute(s, cycles=0, instructions=1).dynamic_j)
+        assert energies == sorted(energies)
+        assert energies[0] < energies[-1]
+
+
+class TestIsoArea:
+    def test_density_ratio_matches_table1(self):
+        from repro.energy import MB, iso_area_capacity
+
+        stt_bytes = iso_area_capacity(8 * MB)
+        # Table I densities: 1.65 vs 0.62 mm2 per 2MB -> ~2.66x capacity
+        assert stt_bytes / (8 * MB) == pytest.approx(1.65 / 0.62, rel=1e-6)
+
+    def test_paper_iso_area_point_magnitude(self):
+        from repro.energy import MB, iso_area_capacity
+
+        stt_mb = iso_area_capacity(8 * MB) / MB
+        # the paper evaluates a 24MB iso-area STT LLC; Table I's raw
+        # densities support ~21MB — same regime
+        assert 18 < stt_mb < 26
+
+    def test_rejects_nonpositive(self):
+        from repro.energy import iso_area_capacity
+
+        with pytest.raises(ConfigurationError):
+            iso_area_capacity(0)
+
+    def test_pow2_floor(self):
+        from repro.energy import pow2_floor
+
+        assert pow2_floor(24) == 16
+        assert pow2_floor(16) == 16
+        assert pow2_floor(1) == 1
+        with pytest.raises(ConfigurationError):
+            pow2_floor(0)

@@ -1,0 +1,68 @@
+"""Smoke tests: every example script runs end-to-end and prints its
+report. Examples are part of the public deliverable, so they are
+exercised with reduced reference counts."""
+
+import importlib.util
+import pathlib
+import sys
+
+import pytest
+
+EXAMPLES_DIR = pathlib.Path(__file__).parent.parent / "examples"
+
+
+def load_example(name):
+    spec = importlib.util.spec_from_file_location(name, EXAMPLES_DIR / f"{name}.py")
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+def run_example(monkeypatch, name, argv):
+    monkeypatch.setattr(sys, "argv", [f"{name}.py", *argv])
+    load_example(name).main()
+
+
+class TestExamples:
+    def test_quickstart(self, monkeypatch, capsys):
+        run_example(monkeypatch, "quickstart", ["2500"])
+        out = capsys.readouterr().out
+        assert "LAP saves" in out
+        assert "non-inclusive" in out and "lap" in out
+
+    def test_workload_characterization(self, monkeypatch, capsys):
+        run_example(monkeypatch, "workload_characterization", ["1200"])
+        out = capsys.readouterr().out
+        assert "omnetpp" in out and "libquantum" in out
+        assert "WL" in out and "WH" in out
+
+    def test_hybrid_llc(self, monkeypatch, capsys):
+        run_example(monkeypatch, "hybrid_llc", ["WL3", "2500"])
+        out = capsys.readouterr().out
+        assert "Lhybrid" in out and "STT write share" in out
+
+    def test_technology_sweep(self, monkeypatch, capsys):
+        run_example(monkeypatch, "technology_sweep", ["1200"])
+        out = capsys.readouterr().out
+        assert "write/read ratio" in out
+        assert "EPI saving" in out
+
+    def test_multithreaded_coherence(self, monkeypatch, capsys):
+        run_example(monkeypatch, "multithreaded_coherence", ["dedup", "1500"])
+        out = capsys.readouterr().out
+        assert "snoop traffic" in out and "dedup" in out
+
+    def test_multithreaded_rejects_unknown(self, monkeypatch):
+        with pytest.raises(SystemExit):
+            run_example(monkeypatch, "multithreaded_coherence", ["nosuch", "100"])
+
+    def test_all_examples_have_docstrings(self):
+        for path in EXAMPLES_DIR.glob("*.py"):
+            module = load_example(path.stem)
+            assert module.__doc__ and len(module.__doc__) > 80, path.name
+
+    def test_extensions_demo(self, monkeypatch, capsys):
+        run_example(monkeypatch, "extensions_demo", ["2000"])
+        out = capsys.readouterr().out
+        assert "identical = True" in out
+        assert "lap+dwb" in out

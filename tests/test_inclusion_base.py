@@ -1,0 +1,118 @@
+"""Unit tests for the InclusionPolicy shared mechanics (base.py)."""
+
+import pytest
+
+from repro.cache.replacement import LRUPolicy
+from repro.inclusion.base import InclusionPolicy, LLCAccess
+from tests.conftest import A, B, C, D, E, F, G, H, build_micro, run_refs
+
+
+def reads(*addrs):
+    return [(a, False) for a in addrs]
+
+
+class TestBindAndHooks:
+    def test_bind_attaches_llc_and_touch_policy(self):
+        h = build_micro("non-inclusive")
+        assert h.policy.llc is h.llc
+        assert h.llc.touch_policy == h.policy.replacement_for
+
+    def test_base_policy_is_abstract(self):
+        pol = InclusionPolicy()
+        with pytest.raises(NotImplementedError):
+            pol.llc_access(0, 0, False)
+        with pytest.raises(NotImplementedError):
+            pol.l2_victim(0, None)
+
+    def test_default_loop_bit_is_false(self):
+        assert InclusionPolicy().l2_fill_loop_bit(True) is False
+
+    def test_default_replacement_is_none(self):
+        assert InclusionPolicy().replacement_for(0) is None
+
+    def test_on_l2_dirtied_clears_loop_bit(self):
+        from repro.cache import CacheBlock
+
+        block = CacheBlock(0)
+        block.loop_bit = True
+        InclusionPolicy().on_l2_dirtied(block)
+        assert not block.loop_bit
+
+
+class TestInsertOrUpdate:
+    def test_insert_path_counts_category(self):
+        h = build_micro("non-inclusive")
+        h.policy.insert_or_update(0, A, dirty=False, category="fill")
+        assert h.llc.stats.fill_writes == 1
+        assert h.llc.peek(A) is not None
+
+    def test_update_path_merges_dirty(self):
+        h = build_micro("non-inclusive")
+        h.policy.insert_or_update(0, A, dirty=False, category="fill")
+        h.policy.insert_or_update(0, A, dirty=True, category="dirty_victim")
+        assert h.llc.stats.update_writes == 1
+        assert h.llc.stats.dirty_victim_writes == 0
+        assert h.llc.peek(A).dirty
+
+    def test_duplicate_never_created(self):
+        h = build_micro("non-inclusive")
+        for _ in range(3):
+            h.policy.insert_or_update(0, A, dirty=False, category="fill")
+        cache_set = h.llc.sets[h.llc.set_index(A)]
+        holders = [b for b in cache_set.blocks if b.valid and b.tag == h.llc.tag_of(A)]
+        assert len(holders) == 1
+
+    def test_unknown_category_rejected(self):
+        h = build_micro("non-inclusive")
+        with pytest.raises(ValueError):
+            h.policy._place_and_insert(0, A, dirty=False, loop_bit=False, category="bogus")
+
+    def test_insert_charges_bank_write(self):
+        h = build_micro("non-inclusive")
+        before = h.timing.banks.busy_until[0]
+        h.policy.insert_or_update(0, A, dirty=False, category="fill")
+        assert h.timing.banks.busy_until[h.llc.bank_of(A)] > before
+
+    def test_llc_victim_cascades_to_memory(self):
+        h = build_micro("non-inclusive", llc_bytes=128, llc_assoc=2)
+        h.policy.insert_or_update(0, A, dirty=True, category="dirty_victim")
+        h.policy.insert_or_update(0, B, dirty=False, category="fill")
+        before = h.stats.mem_writes
+        h.policy.insert_or_update(0, C, dirty=False, category="fill")  # evicts dirty A
+        assert h.stats.mem_writes == before + 1
+
+
+class TestLLCAccessNamedTuple:
+    def test_fields(self):
+        acc = LLCAccess(hit=True, tech="stt")
+        assert acc.hit and acc.tech == "stt"
+
+
+class TestHierarchyNotes:
+    def test_fresh_fill_lifecycle(self):
+        h = build_micro("non-inclusive")
+        h.note_fill(A)
+        h.note_dirty_victim(A)
+        assert h.llc.stats.redundant_fills == 1
+        # a second dirty victim for the same line is NOT redundant again
+        h.note_dirty_victim(A)
+        assert h.llc.stats.redundant_fills == 1
+
+    def test_demand_hit_clears_freshness(self):
+        h = build_micro("non-inclusive")
+        h.note_fill(A)
+        h.note_demand_hit(A)
+        h.note_dirty_victim(A)
+        assert h.llc.stats.redundant_fills == 0
+
+    def test_eviction_clears_freshness(self):
+        h = build_micro("non-inclusive")
+        h.note_fill(A)
+        h.note_llc_evict(A)
+        h.note_dirty_victim(A)
+        assert h.llc.stats.redundant_fills == 0
+
+    def test_shared_by_peers_false_without_coherence(self):
+        h = build_micro("non-inclusive")
+        run_refs(h, reads(A))
+        assert not h.shared_by_peers(0, A)

@@ -1,0 +1,180 @@
+"""Tests of the LAP policy: the Fig. 8 data flow, Fig. 10 loop-bit
+lifecycle, and the selective clean-writeback that defines the paper's
+contribution."""
+
+import pytest
+
+from repro.core import LAPPolicy
+from repro.errors import ConfigurationError
+from tests.conftest import A, B, C, D, E, F, G, H, build_micro, run_refs
+
+
+def reads(*addrs):
+    return [(a, False) for a in addrs]
+
+
+def writes(*addrs):
+    return [(a, True) for a in addrs]
+
+
+class TestLAPDataFlow:
+    def test_no_fill_on_llc_miss(self):
+        h = build_micro("lap")
+        run_refs(h, reads(A))
+        assert h.llc.peek(A) is None
+        assert h.llc.stats.fill_writes == 0
+
+    def test_no_invalidation_on_llc_hit(self):
+        h = build_micro("lap")
+        run_refs(h, reads(A, B, C, D, E, F, G, H))  # A..D inserted as victims
+        assert h.llc.peek(A) is not None
+        run_refs(h, reads(A))
+        assert h.llc.peek(A) is not None, "LAP must keep the copy on hits"
+        assert h.llc.stats.hit_invalidations == 0
+
+    def test_clean_victim_without_duplicate_is_inserted(self):
+        h = build_micro("lap")
+        run_refs(h, reads(A, B, C, D, E, F, G, H))
+        assert h.llc.stats.clean_victim_writes == 4  # A..D
+
+    def test_clean_victim_with_duplicate_writes_nothing(self):
+        h = build_micro("lap")
+        run_refs(h, reads(A, B, C, D, E, F, G, H))  # A..D in LLC
+        writes_before = h.llc.stats.llc_writes
+        data_writes_before = h.llc.stats.data_writes
+        # Travel A..D up (LLC hits) and evict them clean again.
+        run_refs(h, reads(A, B, C, D, E, F, G, H))
+        # E..H were dropped clean with no duplicate -> inserted; A..D had
+        # duplicates -> zero data writes for them.
+        assert h.llc.stats.llc_writes - writes_before == 4  # only E..H
+        assert h.llc.stats.data_writes - data_writes_before == 4
+
+    def test_dirty_victim_updates_duplicate(self):
+        h = build_micro("lap")
+        run_refs(h, reads(A, B, C, D, E, F, G, H))  # A in LLC
+        run_refs(h, writes(A))  # bring up and dirty it
+        run_refs(h, reads(E, F, G, H))  # evict dirty A
+        assert h.llc.stats.update_writes == 1
+        assert h.llc.peek(A).dirty
+
+    def test_dirty_victim_without_duplicate_inserted(self):
+        h = build_micro("lap")
+        run_refs(h, writes(A) + reads(B, C, D, E, F, G, H))
+        assert h.llc.stats.dirty_victim_writes == 1
+
+    def test_llc_writes_reduce_to_exclusive_cleans_plus_dirty(self):
+        """Section III-A: LAP writes = non-duplicate clean victims +
+        dirty victims; never any data fill."""
+        h = build_micro("lap")
+        import itertools
+
+        pattern = list(itertools.islice(itertools.cycle([A, B, C, D, E, F, G, H]), 96))
+        run_refs(h, [(a, i % 5 == 0) for i, a in enumerate(pattern)])
+        s = h.llc.stats
+        assert s.fill_writes == 0
+        assert s.llc_writes == (
+            s.clean_victim_writes + s.dirty_victim_writes + s.update_writes
+        )
+
+
+class TestLoopBitLifecycle:
+    def test_fill_from_memory_clears_loop_bit(self):
+        h = build_micro("lap")
+        run_refs(h, reads(A))
+        assert h.l2s[0].peek(A).loop_bit is False
+
+    def test_llc_hit_sets_loop_bit_on_l2_copy(self):
+        h = build_micro("lap")
+        run_refs(h, reads(A, B, C, D, E, F, G, H))  # A makes it to the LLC
+        run_refs(h, reads(A))  # LLC hit
+        assert h.l2s[0].peek(A).loop_bit is True
+
+    def test_store_clears_loop_bit(self):
+        h = build_micro("lap")
+        run_refs(h, reads(A, B, C, D, E, F, G, H))
+        run_refs(h, reads(A))  # loop-bit set
+        run_refs(h, writes(A))
+        assert h.l2s[0].peek(A).loop_bit is False
+
+    def test_clean_trip_updates_llc_loop_bit(self):
+        """Fig. 10b: a clean victim with a duplicate refreshes the
+        loop-bit stored in the LLC tag array."""
+        h = build_micro("lap")
+        run_refs(h, reads(A, B, C, D, E, F, G, H))
+        assert h.llc.peek(A).loop_bit is False  # first insertion: untested block
+        run_refs(h, reads(A))  # hit: L2 copy predicted loop
+        run_refs(h, reads(E, F, G, H))  # clean eviction completes the trip
+        assert h.llc.peek(A).loop_bit is True
+
+    def test_dirty_trip_clears_llc_loop_bit(self):
+        h = build_micro("lap")
+        run_refs(h, reads(A, B, C, D, E, F, G, H))
+        run_refs(h, reads(A))
+        run_refs(h, writes(A))
+        run_refs(h, reads(E, F, G, H))
+        assert h.llc.peek(A).loop_bit is False
+
+
+class TestLAPReplacementVariants:
+    def test_invalid_mode_rejected(self):
+        with pytest.raises(ConfigurationError):
+            LAPPolicy(replacement_mode="rrip")
+
+    def test_variant_names(self):
+        assert LAPPolicy().name == "lap"
+        assert LAPPolicy(replacement_mode="lru").name == "lap-lru"
+        assert LAPPolicy(replacement_mode="loop").name == "lap-loop"
+
+    @staticmethod
+    def _loop_block_scenario(policy_name):
+        """Make A the only loop-block in a 4-way LLC set, then pressure
+        the set with six dirty (non-loop) victims."""
+        h = build_micro(policy_name, llc_bytes=256, llc_assoc=4)
+        extras = [(i + 8) * 64 for i in range(10)]
+        run_refs(h, reads(A, B, C, D))
+        run_refs(h, writes(E, F, G, H))  # evict A..D clean into the LLC
+        run_refs(h, reads(A))  # LLC hit: A's L2 copy predicted loop
+        run_refs(h, writes(*extras[:4]))  # A travels back clean: loop-bit 1
+        assert h.llc.peek(A) is not None and h.llc.peek(A).loop_bit
+        run_refs(h, writes(*extras[4:]))  # 6 more dirty non-loop victims
+        return h
+
+    def test_lap_loop_protects_loop_blocks(self):
+        h = self._loop_block_scenario("lap-loop")
+        assert h.llc.peek(A) is not None, "loop-block should be protected"
+
+    def test_lap_lru_evicts_by_recency_only(self):
+        h = self._loop_block_scenario("lap-lru")
+        # under plain LRU the old loop-block A is displaced by pressure
+        assert h.llc.peek(A) is None
+
+    def test_duel_mode_builds_controller(self):
+        h = build_micro("lap")
+        assert h.policy.dueling is not None
+
+    def test_forced_modes_have_no_controller(self):
+        h = build_micro("lap-lru")
+        assert h.policy.dueling is None
+
+
+class TestLAPOnSmallSystem:
+    def test_writes_never_exceed_noni_or_ex(self, small_system):
+        """LAP's write traffic must undercut both baselines (Fig. 15)."""
+        from repro import make_workload, simulate
+
+        results = {}
+        for pol in ("non-inclusive", "exclusive", "lap"):
+            wl = make_workload("omnetpp", small_system)
+            results[pol] = simulate(small_system, pol, wl, refs_per_core=6000)
+        assert results["lap"].llc_writes < results["non-inclusive"].llc_writes
+        assert results["lap"].llc_writes < results["exclusive"].llc_writes
+
+    def test_mpki_close_to_exclusive(self, small_system):
+        from repro import make_workload, simulate
+
+        results = {}
+        for pol in ("non-inclusive", "exclusive", "lap"):
+            wl = make_workload("omnetpp", small_system)
+            results[pol] = simulate(small_system, pol, wl, refs_per_core=6000)
+        assert results["lap"].mpki < results["non-inclusive"].mpki
+        assert results["lap"].mpki < results["exclusive"].mpki * 1.25

@@ -1,0 +1,173 @@
+"""Integration tests asserting the paper's qualitative results.
+
+These are the claims the reproduction must preserve (shape, not
+absolute numbers): WL/WH classification, LAP's dominance over both
+traditional policies, write-traffic reduction, MPKI behaviour, hybrid
+placement gains, and the write/read-ratio scaling trend.
+"""
+
+import pytest
+
+from repro import SystemConfig, make_workload, simulate
+from repro.energy import SRAM, STT_RAM
+
+REFS = 10_000
+
+
+def run_all(system, workload_name, policies, refs=REFS):
+    out = {}
+    for pol in policies:
+        wl = make_workload(workload_name, system)
+        out[pol] = simulate(system, pol, wl, refs_per_core=refs)
+    return out
+
+
+@pytest.fixture(scope="module")
+def stt_system():
+    return SystemConfig.scaled()
+
+
+@pytest.fixture(scope="module")
+def wh1_results(stt_system):
+    return run_all(
+        stt_system, "WH1", ("non-inclusive", "exclusive", "dswitch", "lap")
+    )
+
+
+@pytest.fixture(scope="module")
+def wl2_results(stt_system):
+    return run_all(
+        stt_system, "WL2", ("non-inclusive", "exclusive", "dswitch", "lap")
+    )
+
+
+class TestNoDominantTraditionalPolicy:
+    """Section II: neither noni nor ex dominates on STT-RAM."""
+
+    def test_wh_mix_favors_non_inclusion(self, wh1_results):
+        assert wh1_results["exclusive"].epi > wh1_results["non-inclusive"].epi
+
+    def test_wl_mix_favors_exclusion(self, wl2_results):
+        assert wl2_results["exclusive"].epi < wl2_results["non-inclusive"].epi
+
+    def test_sram_never_punishes_exclusion(self):
+        """Fig. 12a: with leakage-dominated SRAM the write-traffic
+        penalty of exclusion disappears — exclusion is at worst on par
+        with non-inclusion everywhere and clearly better somewhere.
+
+        (The paper shows a uniform ex win; at scaled geometry the
+        dynamic share is higher, so we assert parity-or-better.)"""
+        system = SystemConfig.scaled(tech=SRAM)
+        ratios = {}
+        for mix in ("WL2", "WL3", "WH1", "WH5"):
+            res = run_all(system, mix, ("non-inclusive", "exclusive"), refs=8000)
+            ratios[mix] = res["exclusive"].epi / res["non-inclusive"].epi
+        assert all(r <= 1.03 for r in ratios.values()), ratios
+        assert min(ratios.values()) < 0.97, ratios
+
+    def test_wl_wh_classification_tracks_write_ratio(self, wh1_results, wl2_results):
+        wrel_wh = wh1_results["exclusive"].llc_writes / wh1_results["non-inclusive"].llc_writes
+        wrel_wl = wl2_results["exclusive"].llc_writes / wl2_results["non-inclusive"].llc_writes
+        assert wrel_wh > 1.0 > wrel_wl
+
+
+class TestLAPHeadlineClaims:
+    """Section VI-B: LAP beats both baselines in energy on both classes."""
+
+    @pytest.mark.parametrize("fixture_name", ["wh1_results", "wl2_results"])
+    def test_lap_beats_both_baselines(self, fixture_name, request):
+        res = request.getfixturevalue(fixture_name)
+        assert res["lap"].epi < res["non-inclusive"].epi
+        assert res["lap"].epi < res["exclusive"].epi
+
+    def test_lap_write_reduction(self, wh1_results):
+        # paper: -35% vs noni and -29% vs ex on average; require clear
+        # double-digit reductions on the loop-heavy mix.
+        lap = wh1_results["lap"].llc_writes
+        assert lap < 0.8 * wh1_results["non-inclusive"].llc_writes
+        assert lap < 0.8 * wh1_results["exclusive"].llc_writes
+
+    def test_lap_mpki_tracks_exclusion_not_noni(self, wh1_results):
+        # paper: LAP ~22% fewer misses than noni, within ~1% of ex.
+        lap, ex, noni = (
+            wh1_results["lap"].mpki,
+            wh1_results["exclusive"].mpki,
+            wh1_results["non-inclusive"].mpki,
+        )
+        assert lap < noni
+        assert lap < ex * 1.3
+
+    def test_lap_small_worst_case_throughput_loss(self, wh1_results, wl2_results):
+        for res in (wh1_results, wl2_results):
+            best = max(res["non-inclusive"].throughput, res["exclusive"].throughput)
+            assert res["lap"].throughput > best * 0.9
+
+    def test_lap_beats_dswitch(self, wh1_results, wl2_results):
+        # Dswitch can only pick the better traditional mode; LAP
+        # eliminates both kinds of redundant writes.
+        for res in (wh1_results, wl2_results):
+            assert res["lap"].epi <= res["dswitch"].epi * 1.02
+
+
+class TestRedundantWriteElimination:
+    def test_lap_eliminates_all_fills(self, wh1_results, wl2_results):
+        for res in (wh1_results, wl2_results):
+            assert res["lap"].llc.fill_writes == 0
+
+    def test_noni_redundant_fill_fraction_significant_on_wl(self, wl2_results):
+        # WL2 contains libquantum + GemsFDTD: many useless fills.
+        assert wl2_results["non-inclusive"].redundant_fill_fraction > 0.25
+
+    def test_lap_loop_occupancy_highest(self, wh1_results):
+        # Fig. 16: LAP keeps more loop-blocks resident than exclusion.
+        assert (
+            wh1_results["lap"].llc_loop_occupancy
+            >= wh1_results["exclusive"].llc_loop_occupancy
+        )
+
+
+class TestWriteReadRatioScaling:
+    def test_savings_grow_with_asymmetry(self):
+        savings = []
+        for ratio in (2.0, 8.0, 20.0):
+            system = SystemConfig.scaled(tech=STT_RAM.with_write_read_ratio(ratio))
+            res = run_all(system, "WH1", ("non-inclusive", "lap"), refs=6000)
+            savings.append(1 - res["lap"].epi / res["non-inclusive"].epi)
+        assert savings[0] < savings[1] < savings[2]
+
+    def test_savings_positive_even_at_2x(self):
+        system = SystemConfig.scaled(tech=STT_RAM.with_write_read_ratio(2.0))
+        res = run_all(system, "WH1", ("non-inclusive", "lap"), refs=6000)
+        assert 1 - res["lap"].epi / res["non-inclusive"].epi > 0
+
+
+class TestHybridClaims:
+    def test_lhybrid_beats_lap_on_hybrid(self):
+        system = SystemConfig.scaled(hybrid=True)
+        res = run_all(
+            system, "WL3", ("non-inclusive", "lap", "lhybrid"), refs=8000
+        )
+        assert res["lhybrid"].epi < res["lap"].epi
+        assert res["lhybrid"].epi < res["non-inclusive"].epi
+
+    def test_lhybrid_reduces_stt_write_share(self):
+        system = SystemConfig.scaled(hybrid=True)
+        res = run_all(system, "WL3", ("lap", "lhybrid"), refs=8000)
+        share = lambda r: r.llc.data_writes_stt / max(1, r.llc.data_writes)
+        assert share(res["lhybrid"]) < share(res["lap"])
+
+
+class TestMultithreadedClaims:
+    def test_lap_saves_energy_on_streamcluster(self):
+        system = SystemConfig.scaled()
+        res = run_all(
+            system, "streamcluster", ("non-inclusive", "exclusive", "lap"), refs=6000
+        )
+        assert res["lap"].total_energy < res["non-inclusive"].total_energy
+        assert res["lap"].total_energy < res["exclusive"].total_energy
+
+    def test_snoop_traffic_positive_and_tracks_misses(self):
+        system = SystemConfig.scaled()
+        res = run_all(system, "canneal", ("non-inclusive", "exclusive"), refs=4000)
+        for r in res.values():
+            assert r.snoop_traffic > 0

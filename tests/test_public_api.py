@@ -1,0 +1,113 @@
+"""Public-API surface tests: exports resolve, docs exist, versions sane."""
+
+import importlib
+import inspect
+
+import pytest
+
+import repro
+
+SUBPACKAGES = (
+    "repro.cache",
+    "repro.hierarchy",
+    "repro.inclusion",
+    "repro.core",
+    "repro.energy",
+    "repro.workloads",
+    "repro.sim",
+    "repro.analysis",
+    "repro.testing",
+    "repro.cli",
+)
+
+
+class TestExports:
+    def test_version_string(self):
+        assert repro.__version__.count(".") == 2
+
+    def test_top_level_all_resolves(self):
+        missing = object()
+        for name in repro.__all__:
+            assert getattr(repro, name, missing) is not missing, name
+
+    @pytest.mark.parametrize("module_name", SUBPACKAGES)
+    def test_subpackages_import(self, module_name):
+        module = importlib.import_module(module_name)
+        assert module.__doc__, f"{module_name} needs a module docstring"
+
+    @pytest.mark.parametrize(
+        "module_name",
+        [m for m in SUBPACKAGES if m not in ("repro.cli", "repro.testing")],
+    )
+    def test_subpackage_all_resolves(self, module_name):
+        module = importlib.import_module(module_name)
+        missing = object()
+        for name in getattr(module, "__all__", []):
+            assert getattr(module, name, missing) is not missing, f"{module_name}.{name}"
+
+
+class TestDocumentation:
+    def _public_members(self, module):
+        for name in getattr(module, "__all__", []):
+            obj = getattr(module, name)
+            if inspect.isclass(obj) or inspect.isfunction(obj):
+                yield name, obj
+
+    @pytest.mark.parametrize("module_name", SUBPACKAGES[:-2])
+    def test_every_public_item_documented(self, module_name):
+        module = importlib.import_module(module_name)
+        undocumented = [
+            name for name, obj in self._public_members(module) if not obj.__doc__
+        ]
+        assert not undocumented, f"{module_name}: missing docstrings on {undocumented}"
+
+    def test_policy_classes_documented(self):
+        from repro.core.policies import make_policy, policy_names
+
+        for name in policy_names():
+            policy = make_policy(name)
+            assert type(policy).__doc__, name
+
+
+class TestRegistryConsistency:
+    def test_every_registered_policy_builds_and_binds(self):
+        from repro.core.policies import make_policy, policy_names
+        from repro.errors import ConfigurationError
+        from repro.testing import build_micro
+
+        for name in policy_names():
+            try:
+                build_micro(name)
+            except ConfigurationError:
+                # hybrid-placement policies require a hybrid LLC
+                build_micro(name, sram_ways=4)
+
+    def test_policy_sets_are_registered(self):
+        from repro.core.policies import (
+            HOMOGENEOUS_POLICIES,
+            HYBRID_POLICIES,
+            LAP_VARIANTS,
+            LHYBRID_STAGES,
+            make_policy,
+        )
+
+        for group in (HOMOGENEOUS_POLICIES, HYBRID_POLICIES, LAP_VARIANTS, LHYBRID_STAGES):
+            for name in group:
+                assert make_policy(name) is not None
+
+    def test_aliases_resolve_to_same_class(self):
+        from repro.core.policies import make_policy
+
+        assert type(make_policy("noni")) is type(make_policy("non-inclusive"))
+        assert type(make_policy("ex")) is type(make_policy("exclusive"))
+
+
+class TestQuickstartDocExample:
+    def test_readme_quickstart_snippet(self):
+        from repro import SystemConfig, make_workload, simulate
+
+        system = SystemConfig.scaled(ncores=2, llc_kb=32, l2_kb=4)
+        workload = make_workload("mcf", system)
+        result = simulate(system, "lap", workload, refs_per_core=1000)
+        assert result.epi > 0
+        assert result.mpki > 0

@@ -1,0 +1,164 @@
+"""Unit tests for replacement policies (LRU/MRU/Random/SRRIP/loop-aware)."""
+
+import pytest
+
+from repro.cache import CacheBlock
+from repro.cache.replacement import (
+    LoopAwarePolicy,
+    LRUPolicy,
+    MRUPolicy,
+    RandomPolicy,
+    SRRIPPolicy,
+)
+
+
+def blocks(n=4, tech="sram"):
+    return [CacheBlock(w, tech) for w in range(n)]
+
+
+def fill_all(bs, start_now=1):
+    for i, b in enumerate(bs):
+        b.fill(i, dirty=False, loop_bit=False, now=start_now + i)
+
+
+class TestLRU:
+    def test_prefers_invalid(self):
+        bs = blocks()
+        fill_all(bs)
+        bs[2].reset()
+        assert LRUPolicy().victim(bs, 100) is bs[2]
+
+    def test_evicts_oldest(self):
+        bs = blocks()
+        fill_all(bs)
+        assert LRUPolicy().victim(bs, 100) is bs[0]
+
+    def test_on_hit_refreshes(self):
+        bs = blocks()
+        fill_all(bs)
+        LRUPolicy().on_hit(bs[0], 99)
+        assert LRUPolicy().victim(bs, 100) is bs[1]
+
+    def test_single_block(self):
+        bs = blocks(1)
+        fill_all(bs)
+        assert LRUPolicy().victim(bs, 10) is bs[0]
+
+
+class TestMRU:
+    def test_evicts_newest(self):
+        bs = blocks()
+        fill_all(bs)
+        assert MRUPolicy().victim(bs, 100) is bs[-1]
+
+    def test_prefers_invalid(self):
+        bs = blocks()
+        fill_all(bs)
+        bs[1].reset()
+        assert MRUPolicy().victim(bs, 100) is bs[1]
+
+
+class TestRandom:
+    def test_prefers_invalid(self):
+        bs = blocks()
+        fill_all(bs)
+        bs[3].reset()
+        assert RandomPolicy(seed=0).victim(bs, 10) is bs[3]
+
+    def test_deterministic_per_seed(self):
+        bs = blocks()
+        fill_all(bs)
+        picks_a = [RandomPolicy(seed=7).victim(bs, i) for i in range(10)]
+        picks_b = [RandomPolicy(seed=7).victim(bs, i) for i in range(10)]
+        assert picks_a == picks_b
+
+    def test_only_valid_blocks_chosen(self):
+        bs = blocks()
+        fill_all(bs)
+        pol = RandomPolicy(seed=3)
+        assert all(pol.victim(bs, i).valid for i in range(20))
+
+
+class TestSRRIP:
+    def test_insert_uses_long_interval(self):
+        pol = SRRIPPolicy(bits=2)
+        b = CacheBlock(0)
+        b.fill(1, dirty=False, loop_bit=False, now=1)
+        pol.on_insert(b, 1)
+        assert b.rrpv == 2  # max_rrpv - 1
+
+    def test_hit_promotes_to_zero(self):
+        pol = SRRIPPolicy(bits=2)
+        b = CacheBlock(0)
+        pol.on_insert(b, 1)
+        pol.on_hit(b, 2)
+        assert b.rrpv == 0
+
+    def test_victim_is_distant_block(self):
+        pol = SRRIPPolicy(bits=2)
+        bs = blocks()
+        fill_all(bs)
+        for b in bs:
+            pol.on_insert(b, 1)
+        bs[2].rrpv = 3
+        assert pol.victim(bs, 5) is bs[2]
+
+    def test_aging_converges(self):
+        pol = SRRIPPolicy(bits=2)
+        bs = blocks()
+        fill_all(bs)
+        for b in bs:
+            b.rrpv = 0
+        victim = pol.victim(bs, 5)
+        assert victim in bs
+        assert victim.rrpv >= pol.max_rrpv
+
+    def test_rejects_zero_bits(self):
+        with pytest.raises(ValueError):
+            SRRIPPolicy(bits=0)
+
+
+class TestLoopAware:
+    def test_prefers_invalid_first(self):
+        bs = blocks()
+        fill_all(bs)
+        bs[1].reset()
+        assert LoopAwarePolicy().victim(bs, 10) is bs[1]
+
+    def test_evicts_lru_non_loop_block(self):
+        bs = blocks()
+        fill_all(bs)
+        bs[0].loop_bit = True  # the LRU block is protected
+        assert LoopAwarePolicy().victim(bs, 10) is bs[1]
+
+    def test_falls_back_to_loop_blocks_when_all_loop(self):
+        bs = blocks()
+        fill_all(bs)
+        for b in bs:
+            b.loop_bit = True
+        assert LoopAwarePolicy().victim(bs, 10) is bs[0]
+
+    def test_priority_order_matches_fig9(self):
+        # invalid > LRU non-loop > LRU loop (Fig. 9's victim selector)
+        bs = blocks()
+        fill_all(bs)
+        bs[0].loop_bit = True
+        bs[1].loop_bit = True
+        victim = LoopAwarePolicy().victim(bs, 10)
+        assert victim is bs[2]
+        bs[3].reset()
+        assert LoopAwarePolicy().victim(bs, 11) is bs[3]
+
+    def test_wraps_alternate_baseline(self):
+        pol = LoopAwarePolicy(SRRIPPolicy(bits=2))
+        bs = blocks()
+        fill_all(bs)
+        for b in bs:
+            pol.on_insert(b, 1)
+        bs[0].loop_bit = True
+        bs[1].rrpv = 3
+        assert pol.victim(bs, 5) is bs[1]
+
+    def test_name_reflects_baseline(self):
+        assert "lru" in LoopAwarePolicy().name
+        assert "srrip" in LoopAwarePolicy(SRRIPPolicy()).name

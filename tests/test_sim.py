@@ -1,0 +1,181 @@
+"""Tests for SystemConfig, Simulator, runner, and RunResult."""
+
+import pytest
+
+from repro import SystemConfig, make_workload, simulate
+from repro.energy import SRAM, STT_RAM
+from repro.errors import SimulationError, WorkloadError
+from repro.sim.runner import (
+    benchmarks_builder,
+    duplicate_builder,
+    mix_builder,
+    multithreaded_builder,
+    normalized,
+    run_matrix,
+    run_one,
+    run_policies,
+)
+from repro.sim.simulator import Simulator
+
+
+class TestSystemConfig:
+    def test_scaled_geometry(self):
+        s = SystemConfig.scaled()
+        assert s.hierarchy.llc.size_bytes == 128 * 1024
+        assert s.leakage_compensation > 1
+
+    def test_table2_uses_raw_leakage(self):
+        s = SystemConfig.table2()
+        assert s.leakage_compensation == 1.0
+        assert s.hierarchy.llc.size_bytes == 8 * 1024 * 1024
+
+    def test_scale_context_matches_hierarchy(self):
+        s = SystemConfig.scaled()
+        ctx = s.scale_context()
+        assert ctx.l2_bytes == s.hierarchy.l2.size_bytes
+        assert ctx.llc_bytes == s.hierarchy.llc.size_bytes
+
+    def test_energy_model_homogeneous_stt(self):
+        s = SystemConfig.scaled()
+        m = s.energy_model()
+        assert m.stt_bytes == s.hierarchy.llc.size_bytes
+        assert m.sram_bytes == 0
+
+    def test_energy_model_hybrid_split(self):
+        s = SystemConfig.scaled(hybrid=True)
+        m = s.energy_model()
+        assert m.sram_bytes == s.hierarchy.llc.size_bytes // 4
+        assert m.stt_bytes == 3 * s.hierarchy.llc.size_bytes // 4
+
+    def test_with_tech_swaps_llc(self):
+        s = SystemConfig.scaled().with_tech(STT_RAM.with_write_read_ratio(12))
+        assert s.hierarchy.llc.tech.write_read_ratio == pytest.approx(12)
+
+    def test_sram_system(self):
+        s = SystemConfig.scaled(tech=SRAM)
+        m = s.energy_model()
+        assert m.stt_bytes == 0 and m.sram_bytes == s.hierarchy.llc.size_bytes
+
+
+class TestSimulator:
+    def test_core_count_mismatch_rejected(self, small_system):
+        wl = make_workload("mcf", small_system)
+        bigger = SystemConfig.scaled(ncores=4)
+        with pytest.raises(SimulationError):
+            Simulator(bigger, "lap", wl)
+
+    def test_zero_refs_rejected(self, small_system):
+        wl = make_workload("mcf", small_system)
+        with pytest.raises(SimulationError):
+            Simulator(small_system, "lap", wl).run(0)
+
+    def test_policy_instance_accepted(self, small_system):
+        from repro.core import LAPPolicy
+
+        wl = make_workload("mcf", small_system)
+        r = Simulator(small_system, LAPPolicy(), wl).run(500)
+        assert r.policy == "lap"
+
+    def test_deterministic_runs(self, small_system):
+        r1 = simulate(small_system, "lap", make_workload("astar", small_system), 2000)
+        r2 = simulate(small_system, "lap", make_workload("astar", small_system), 2000)
+        assert r1.epi == r2.epi
+        assert r1.llc.snapshot() == r2.llc.snapshot()
+
+    def test_instructions_scale_with_instr_per_ref(self, small_system):
+        wl = make_workload("mcf", small_system)
+        ipr = wl.generators[0].instr_per_ref
+        r = simulate(small_system, "non-inclusive", wl, 1000)
+        assert r.instructions == int(1000 * ipr * small_system.hierarchy.ncores)
+
+    def test_cycles_positive_and_bounded(self, small_system):
+        r = simulate(small_system, "non-inclusive", make_workload("mcf", small_system), 1000)
+        assert r.cycles > 0
+        worst = r.instructions * (1 + small_system.hierarchy.mem_latency)
+        assert r.cycles < worst
+
+    def test_unknown_workload_raises(self, small_system):
+        with pytest.raises(WorkloadError):
+            make_workload("gcc", small_system)
+
+
+class TestRunResult:
+    @pytest.fixture
+    def result(self, small_system):
+        return simulate(
+            small_system, "non-inclusive", make_workload("astar", small_system), 2500
+        )
+
+    def test_mpki_consistent(self, result):
+        assert result.mpki == pytest.approx(
+            result.llc_misses / (result.instructions / 1000)
+        )
+
+    def test_throughput_is_sum_of_ipcs(self, result):
+        ipcs = [
+            i / c for i, c in zip(result.core_instructions, result.core_cycles)
+        ]
+        assert result.throughput == pytest.approx(sum(ipcs))
+
+    def test_write_breakdown_sums_to_total(self, result):
+        assert sum(result.write_breakdown().values()) == result.llc_writes
+
+    def test_summary_keys(self, result):
+        s = result.summary()
+        assert {"epi", "mpki", "throughput", "llc_writes"} <= set(s)
+
+    def test_hit_accounting_identity(self, result):
+        s = result.llc
+        assert s.hits + s.misses == s.lookups
+
+
+class TestRunner:
+    def test_run_policies_same_trace(self, small_system):
+        res = run_policies(
+            small_system,
+            ("non-inclusive", "exclusive"),
+            duplicate_builder("astar", ncores=2),
+            refs_per_core=1500,
+        )
+        # identical traces: L2-side behaviour must match exactly
+        noni, ex = res["non-inclusive"], res["exclusive"]
+        assert noni.hier.accesses == ex.hier.accesses
+        assert noni.hier.l2_dirty_victims == ex.hier.l2_dirty_victims
+
+    def test_normalized_metric(self, small_system):
+        res = run_policies(
+            small_system,
+            ("non-inclusive", "lap"),
+            duplicate_builder("omnetpp", ncores=2),
+            refs_per_core=2500,
+        )
+        norm = normalized(res, "llc_writes")
+        assert norm["non-inclusive"] == 1.0
+        assert norm["lap"] < 1.0
+
+    def test_run_matrix_shape(self, small_system):
+        out = run_matrix(
+            small_system,
+            ("non-inclusive",),
+            {"a": duplicate_builder("mcf", ncores=2), "b": duplicate_builder("lbm", ncores=2)},
+            refs_per_core=600,
+        )
+        assert set(out) == {"a", "b"}
+        assert set(out["a"]) == {"non-inclusive"}
+
+    def test_multithreaded_builder(self, small_system):
+        r = run_one(
+            small_system, "lap", multithreaded_builder("dedup", nthreads=2), 800
+        )
+        assert r.snoop_traffic > 0
+
+    def test_benchmarks_builder_names(self, small_system):
+        r = run_one(
+            small_system, "lap", benchmarks_builder(["mcf", "lbm"]), 500
+        )
+        assert r.workload == "mcf+lbm"
+
+    def test_mix_builder_requires_four_cores(self):
+        system = SystemConfig.scaled()  # 4 cores
+        r = run_one(system, "non-inclusive", mix_builder("WH1"), 400)
+        assert r.workload == "WH1"

@@ -1,0 +1,111 @@
+"""Property-based tests for the timing and energy models."""
+
+import hypothesis.strategies as st
+import pytest
+from hypothesis import given, settings
+
+from repro.cache.stats import CacheStats
+from repro.energy import MB, STT_RAM, LLCEnergyModel
+from repro.hierarchy import TimingModel, scaled_config
+
+
+def make_timing():
+    return TimingModel(scaled_config())
+
+
+event_strategy = st.lists(
+    st.tuples(
+        st.sampled_from(["instr", "l2", "llc_r", "llc_w", "mem"]),
+        st.integers(0, 3),  # core
+        st.integers(0, 3),  # bank
+    ),
+    max_size=200,
+)
+
+
+class TestTimingProperties:
+    @given(events=event_strategy)
+    @settings(max_examples=60, deadline=None)
+    def test_clocks_monotone_and_nonnegative(self, events):
+        t = make_timing()
+        previous = list(t.core_cycles)
+        for kind, core, bank in events:
+            if kind == "instr":
+                t.advance_instructions(core, 5)
+            elif kind == "l2":
+                t.l2_hit(core)
+            elif kind == "llc_r":
+                t.llc_read(core, bank)
+            elif kind == "llc_w":
+                t.llc_write(core, bank)
+            else:
+                t.memory_access(core)
+            for c in range(4):
+                assert t.core_cycles[c] >= previous[c] >= 0
+            previous = list(t.core_cycles)
+
+    @given(events=event_strategy)
+    @settings(max_examples=40, deadline=None)
+    def test_bank_horizons_never_regress(self, events):
+        t = make_timing()
+        prev = list(t.banks.busy_until)
+        for kind, core, bank in events:
+            if kind == "llc_r":
+                t.llc_read(core, bank)
+            elif kind == "llc_w":
+                t.llc_write(core, bank)
+            else:
+                t.advance_instructions(core, 1)
+            for b in range(len(prev)):
+                assert t.banks.busy_until[b] >= prev[b]
+            prev = list(t.banks.busy_until)
+
+    @given(reads=st.integers(0, 50), core=st.integers(0, 3))
+    @settings(max_examples=30, deadline=None)
+    def test_reads_accumulate_latency_linearly_without_contention(self, reads, core):
+        t = make_timing()
+        for i in range(reads):
+            t.advance_instructions(core, 1000)  # let banks drain
+            t.llc_read(core, bank=i % 4)
+        expected_min = reads * (t.l2_latency + t.llc_read_latency)
+        stall_total = t.core_cycles[core] - (1000 * reads)
+        assert stall_total >= expected_min - 1e-9
+
+
+class TestEnergyProperties:
+    @given(
+        reads=st.integers(0, 10_000),
+        writes=st.integers(0, 10_000),
+        cycles=st.integers(0, 10_000_000),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_energy_nonnegative_and_additive(self, reads, writes, cycles):
+        model = LLCEnergyModel(0, MB, leakage_compensation=1.0)
+        s = CacheStats()
+        s.data_reads_stt = reads
+        s.data_writes_stt = writes
+        r = model.compute(s, cycles=cycles, instructions=max(1, reads + writes))
+        assert r.total_j >= 0
+        assert r.total_j == pytest.approx(
+            r.static_j + r.dynamic_read_j + r.dynamic_write_j + r.tag_dynamic_j
+        )
+
+    @given(writes=st.integers(1, 10_000), factor=st.integers(2, 8))
+    @settings(max_examples=40, deadline=None)
+    def test_dynamic_energy_linear_in_writes(self, writes, factor):
+        model = LLCEnergyModel(0, MB, leakage_compensation=1.0)
+
+        def energy(n):
+            s = CacheStats()
+            s.data_writes_stt = n
+            return model.compute(s, cycles=0, instructions=1).dynamic_write_j
+
+        assert energy(writes * factor) == pytest.approx(energy(writes) * factor)
+
+    @given(ratio=st.floats(0.5, 40, allow_nan=False))
+    @settings(max_examples=40, deadline=None)
+    def test_ratio_scaling_exact(self, ratio):
+        scaled = STT_RAM.with_write_read_ratio(ratio)
+        assert scaled.write_energy_nj == pytest.approx(
+            STT_RAM.read_energy_nj * ratio
+        )

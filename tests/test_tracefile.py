@@ -1,0 +1,134 @@
+"""Tests for trace capture/replay (workloads.tracefile)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import WorkloadError
+from repro.workloads import LoopRegion, SyntheticTrace
+from repro.workloads.tracefile import ReplayTrace, load_trace, save_trace
+
+
+def make_gen(seed=3):
+    return SyntheticTrace(
+        [(LoopRegion(0, 64 * 64), 1.0)], seed=seed, name="looper", instr_per_ref=5.0
+    )
+
+
+class TestSaveLoadRoundtrip:
+    def test_roundtrip_preserves_refs(self, tmp_path):
+        path = save_trace(tmp_path / "t", make_gen(), 500)
+        replay = load_trace(path)
+        a1, w1 = make_gen().batch(500)
+        a2, w2 = replay.batch(500)
+        assert (a1 == a2).all() and (w1 == w2).all()
+
+    def test_metadata_preserved(self, tmp_path):
+        path = save_trace(tmp_path / "t", make_gen(), 100)
+        replay = load_trace(path)
+        assert replay.name == "looper"
+        assert replay.instr_per_ref == 5.0
+        assert len(replay) == 100
+
+    def test_npz_suffix_appended(self, tmp_path):
+        path = save_trace(tmp_path / "mytrace", make_gen(), 10)
+        assert path.suffix == ".npz"
+        assert path.exists()
+
+    def test_load_without_suffix(self, tmp_path):
+        save_trace(tmp_path / "t", make_gen(), 10)
+        replay = load_trace(tmp_path / "t")
+        assert len(replay) == 10
+
+    def test_multi_batch_capture(self, tmp_path):
+        path = save_trace(tmp_path / "t", make_gen(), 1000, batch=128)
+        assert len(load_trace(path)) == 1000
+
+    def test_zero_length_rejected(self, tmp_path):
+        with pytest.raises(WorkloadError):
+            save_trace(tmp_path / "t", make_gen(), 0)
+
+    def test_missing_file_raises(self, tmp_path):
+        with pytest.raises(WorkloadError):
+            load_trace(tmp_path / "nope.npz")
+
+    def test_corrupt_file_raises(self, tmp_path):
+        bad = tmp_path / "bad.npz"
+        bad.write_bytes(b"not an npz")
+        with pytest.raises(WorkloadError):
+            load_trace(bad)
+
+
+class TestReplayTrace:
+    def _replay(self, n=8, loop=True):
+        addrs = np.arange(n, dtype=np.uint64) * 64
+        writes = np.zeros(n, dtype=bool)
+        writes[0] = True
+        return ReplayTrace(addrs, writes, "r", 4.0, loop=loop)
+
+    def test_wraps_when_looping(self):
+        r = self._replay(4)
+        a, w = r.batch(10)
+        assert a.tolist() == [0, 64, 128, 192, 0, 64, 128, 192, 0, 64]
+        assert w[0] and w[4] and w[8]
+
+    def test_non_loop_exhaustion(self):
+        r = self._replay(4, loop=False)
+        r.batch(4)
+        with pytest.raises(WorkloadError):
+            r.batch(1)
+
+    def test_empty_rejected(self):
+        with pytest.raises(WorkloadError):
+            ReplayTrace(np.array([], dtype=np.uint64), np.array([], dtype=bool), "e", 4.0)
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(WorkloadError):
+            ReplayTrace(
+                np.zeros(3, dtype=np.uint64), np.zeros(2, dtype=bool), "m", 4.0
+            )
+
+    def test_nonpositive_batch_rejected(self):
+        with pytest.raises(WorkloadError):
+            self._replay().batch(0)
+
+
+class TestReplayInSimulator:
+    def test_replayed_trace_drives_simulation(self, tmp_path, small_system):
+        from repro import Workload, simulate
+        from repro.workloads import build_benchmark
+
+        ctx = small_system.scale_context()
+        gens = [
+            build_benchmark("mcf", ctx, seed=c, base=c << 40)
+            for c in range(small_system.hierarchy.ncores)
+        ]
+        paths = [save_trace(tmp_path / f"core{i}", g, 2000) for i, g in enumerate(gens)]
+        replays = [load_trace(p) for p in paths]
+        wl = Workload(
+            name="replayed-mcf",
+            kind="multiprogrammed",
+            generators=replays,
+            benchmarks=("mcf",) * len(replays),
+        )
+        result = simulate(small_system, "lap", wl, refs_per_core=2000)
+        assert result.instructions > 0
+
+    def test_replay_matches_live_run(self, tmp_path, small_system):
+        """A replayed trace must produce bit-identical simulation stats."""
+        from repro import Workload, make_workload, simulate
+
+        live = make_workload("astar", small_system, seed=7)
+        captured = make_workload("astar", small_system, seed=7)
+        paths = [
+            save_trace(tmp_path / f"c{i}", g, 2000)
+            for i, g in enumerate(captured.generators)
+        ]
+        replay_wl = Workload(
+            name="astar-replay",
+            kind="multiprogrammed",
+            generators=[load_trace(p) for p in paths],
+            benchmarks=live.benchmarks,
+        )
+        r_live = simulate(small_system, "exclusive", live, refs_per_core=2000)
+        r_replay = simulate(small_system, "exclusive", replay_wl, refs_per_core=2000)
+        assert r_live.llc.snapshot() == r_replay.llc.snapshot()
