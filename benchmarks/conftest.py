@@ -10,7 +10,14 @@ paper. Conventions:
   ``benchmarks/results/<name>.txt`` so a full run leaves a browsable
   record (EXPERIMENTS.md is assembled from these);
 - reference counts come from :data:`repro.analysis.figures.
-  DEFAULT_BENCH_REFS` (override with the ``REPRO_REFS`` env var).
+  DEFAULT_BENCH_REFS` (override with the ``REPRO_REFS`` env var);
+- setting ``REPRO_CACHE_DIR=<dir>`` opts repeated harness invocations
+  into the ``repro.exec`` result cache: every spec-described simulation
+  is memoised by content address, so re-running the harness (or single
+  figures while iterating on analysis code) skips identical runs. The
+  tier-1 command (``PYTHONPATH=src python -m pytest -x -q``) collects
+  only ``tests/`` (see ``pyproject.toml``) and never sets the variable,
+  so tier-1 always stays cache-off.
 """
 
 from __future__ import annotations
@@ -20,6 +27,27 @@ import pathlib
 import pytest
 
 RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+@pytest.fixture(scope="session", autouse=True)
+def repro_result_cache():
+    """Opt-in result cache for the whole harness run (``REPRO_CACHE_DIR``)."""
+    from repro.exec import cache_from_env, set_active_cache
+
+    cache = cache_from_env()
+    if cache is None:
+        yield None
+        return
+    previous = set_active_cache(cache)
+    try:
+        yield cache
+    finally:
+        set_active_cache(previous)
+        s = cache.stats()
+        print(
+            f"\n[repro.exec cache] {cache.root}: {s.hits} hit(s), "
+            f"{s.misses} miss(es), {s.entries} entr(ies), {s.total_bytes} bytes"
+        )
 
 
 @pytest.fixture

@@ -33,10 +33,12 @@ from .energy import LLCEnergyModel, SRAM, STT_RAM
 from .errors import (
     AnalysisError,
     ConfigurationError,
+    ExecutionError,
     ReproError,
     SimulationError,
     WorkloadError,
 )
+from .exec import JobSpec, ResultCache, WorkloadSpec, execute_jobs
 from .sim import RunResult, Simulator, SystemConfig, simulate
 from .workloads import (
     ScaleContext,
@@ -102,4 +104,9 @@ __all__ = [
     "SimulationError",
     "WorkloadError",
     "AnalysisError",
+    "ExecutionError",
+    "JobSpec",
+    "WorkloadSpec",
+    "ResultCache",
+    "execute_jobs",
 ]

@@ -21,9 +21,19 @@ Commands
     Re-measure every synthetic benchmark's declared traits.
 ``sweep``
     Run a workloads x policies grid on one system and export CSV.
+``cache``
+    Inspect (``stats``) or empty (``clear``) the result cache.
 
 Every command accepts ``--refs``, ``--seed`` and system-shape flags so
 sweeps can be scripted from the shell; all output is plain ASCII.
+
+Two *global* options (they precede the subcommand) drive the execution
+engine: ``--jobs N`` fans grid commands out over N worker processes and
+``--cache-dir PATH`` memoises every spec-described simulation in a
+content-addressed on-disk cache (``$REPRO_CACHE_DIR`` is honoured when
+the flag is absent), e.g.::
+
+    python -m repro --jobs 4 --cache-dir ~/.repro-cache sweep --workloads WL2,WH1
 """
 
 from __future__ import annotations
@@ -38,6 +48,7 @@ from .analysis import classify_wl_wh, favors_exclusion, render_mapping_table, re
 from .core.policies import policy_names
 from .energy import SRAM, STT_RAM
 from .errors import ReproError
+from .exec import ResultCache, cache_from_env, get_active_cache, set_active_cache
 from .sim import SystemConfig
 from .workloads import PARSEC_ORDER, TABLE3_ORDER, benchmark_names
 
@@ -269,9 +280,17 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         policies=tuple(args.policies.split(",")),
         refs_per_core=args.refs,
     )
-    print(f"running {sweep.size()} simulations ...", file=sys.stderr)
+    jobs = max(1, getattr(args, "jobs", 1))
+    print(
+        f"running {sweep.size()} simulations "
+        f"({'serial' if jobs == 1 else f'{jobs} workers'}"
+        f"{', cached' if get_active_cache() else ''}) ...",
+        file=sys.stderr,
+    )
     records = sweep.run(
-        progress=lambda r: print(f"  {r.workload} / {r.policy} done", file=sys.stderr)
+        progress=lambda r: print(f"  {r.workload} / {r.policy} done", file=sys.stderr),
+        max_workers=jobs,
+        cache=get_active_cache(),
     )
     text = records_to_csv(records, args.output)
     if args.output:
@@ -281,11 +300,39 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_cache(args: argparse.Namespace) -> int:
+    cache = get_active_cache()
+    if cache is None:
+        raise ReproError(
+            "no result cache configured: pass --cache-dir (before the "
+            "subcommand) or set $REPRO_CACHE_DIR"
+        )
+    if args.action == "clear":
+        removed = cache.clear()
+        print(f"removed {removed} cached result(s) from {cache.root}")
+        return 0
+    stats = cache.stats()
+    rows = [["directory", str(cache.root)]] + [
+        [k, v] for k, v in stats.as_dict().items()
+    ]
+    print(render_table("result cache", ["field", "value"], rows))
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
         description="LAP (ISCA 2016) reproduction — simulate inclusion "
         "policies on asymmetric LLCs",
+    )
+    parser.add_argument(
+        "--jobs", type=int, default=1, metavar="N",
+        help="worker processes for grid commands (default: 1 = serial)",
+    )
+    parser.add_argument(
+        "--cache-dir", default=None, metavar="PATH",
+        help="content-addressed result cache directory "
+        "(default: $REPRO_CACHE_DIR when set, else no caching)",
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
@@ -333,6 +380,14 @@ def build_parser() -> argparse.ArgumentParser:
     _add_system_args(p)
     p.set_defaults(fn=_cmd_sweep)
 
+    p = sub.add_parser("cache", help="inspect or clear the result cache")
+    p.add_argument("action", choices=("stats", "clear"))
+    # Convenience alias so `repro cache stats --cache-dir X` also works;
+    # SUPPRESS keeps an omitted sub-level flag from clobbering the
+    # global one.
+    p.add_argument("--cache-dir", metavar="PATH", default=argparse.SUPPRESS)
+    p.set_defaults(fn=_cmd_cache)
+
     return parser
 
 
@@ -341,7 +396,16 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
     try:
-        return args.fn(args)
+        cache = (
+            ResultCache(args.cache_dir) if getattr(args, "cache_dir", None)
+            else cache_from_env()
+        )
+        previous = set_active_cache(cache) if cache is not None else None
+        try:
+            return args.fn(args)
+        finally:
+            if cache is not None:
+                set_active_cache(previous)
     except ReproError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2

@@ -36,3 +36,12 @@ class WorkloadError(ReproError):
 
 class AnalysisError(ReproError):
     """Experiment post-processing failed (missing series, empty runs)."""
+
+
+class ExecutionError(ReproError):
+    """The experiment execution engine failed (``repro.exec``).
+
+    Raised for unpicklable/malformed job specs, worker-process failures
+    that survive the retry budget, per-job timeouts, and unusable result
+    cache directories or entries.
+    """

@@ -1,0 +1,148 @@
+"""Parallel job execution over a process pool, with caching and retry.
+
+:func:`execute_jobs` is the engine behind ``Sweep.run(max_workers=...)``
+and the CLI's ``--jobs``: it resolves cache hits first, fans the misses
+out over a :class:`~concurrent.futures.ProcessPoolExecutor`, and returns
+results in the *input* order regardless of completion order, so parallel
+sweeps are record-for-record identical to serial ones.
+
+Failure policy: library errors (:class:`~repro.errors.ReproError`) are
+deterministic — a retry would fail identically — so they propagate
+unchanged. Anything else (a worker killed by the OS, a broken pool, a
+pickling hiccup) is treated as transient and retried once, in-process;
+a second failure raises :class:`~repro.errors.ExecutionError`.
+
+Workers serialise results with :mod:`repro.exec.serialize` rather than
+pickling :class:`RunResult` objects, so the parallel path returns
+byte-identical data to the cache path.
+"""
+
+from __future__ import annotations
+
+import concurrent.futures as cf
+from typing import Any, Dict, List, Optional, Sequence
+
+from ..errors import ExecutionError, ReproError
+from ..sim.results import RunResult
+from .cache import ResultCache
+from .jobs import JobSpec
+from .serialize import result_from_dict, result_to_dict
+
+
+def _run_job_dict(job: JobSpec) -> Dict[str, Any]:
+    """Worker entry point: run one job, return its serialised result."""
+    return result_to_dict(job.run())
+
+
+def _run_with_retry(job: JobSpec, index: int, retries: int) -> RunResult:
+    """In-process execution with the same retry policy as the pool path."""
+    attempts = retries + 1
+    last: Optional[BaseException] = None
+    for _ in range(attempts):
+        try:
+            return job.run()
+        except ReproError:
+            raise
+        except Exception as exc:  # transient by assumption; retry once
+            last = exc
+    raise ExecutionError(
+        f"job {index} ({job.workload.label} / {job.policy}) failed after "
+        f"{attempts} attempts: {last}"
+    ) from last
+
+
+def execute_jobs(
+    jobs: Sequence[JobSpec],
+    max_workers: int = 1,
+    cache: Optional[ResultCache] = None,
+    timeout: Optional[float] = None,
+    retries: int = 1,
+) -> List[RunResult]:
+    """Execute ``jobs`` and return one :class:`RunResult` per job, in order.
+
+    ``max_workers <= 1`` (or a pool that fails to start) runs serially
+    in-process; ``cache`` short-circuits jobs whose content address is
+    already stored and records fresh results on the way out. ``timeout``
+    bounds each job's wall-clock wait in seconds (parallel path only —
+    a serial job cannot be preempted). ``retries`` bounds re-execution
+    of transiently-failed jobs (default: one retry).
+    """
+    jobs = list(jobs)
+    for i, job in enumerate(jobs):
+        if not isinstance(job, JobSpec):
+            raise ExecutionError(f"jobs[{i}] is not a JobSpec: {type(job).__name__}")
+    if retries < 0:
+        raise ExecutionError(f"retries must be >= 0, got {retries}")
+    results: List[Optional[RunResult]] = [None] * len(jobs)
+
+    misses: List[int] = []
+    if cache is not None:
+        for i, job in enumerate(jobs):
+            hit = cache.get(job)
+            if hit is not None:
+                results[i] = hit
+            else:
+                misses.append(i)
+    else:
+        misses = list(range(len(jobs)))
+
+    if misses:
+        if max_workers > 1 and len(misses) > 1:
+            _execute_pooled(jobs, misses, results, max_workers, timeout, retries)
+        else:
+            for i in misses:
+                results[i] = _run_with_retry(jobs[i], i, retries)
+        if cache is not None:
+            for i in misses:
+                cache.put(jobs[i], results[i])
+
+    return results  # type: ignore[return-value]
+
+
+def _execute_pooled(
+    jobs: Sequence[JobSpec],
+    misses: Sequence[int],
+    results: List[Optional[RunResult]],
+    max_workers: int,
+    timeout: Optional[float],
+    retries: int,
+) -> None:
+    """Fan ``misses`` out over a process pool, filling ``results`` in place."""
+    workers = min(max_workers, len(misses))
+    try:
+        pool = cf.ProcessPoolExecutor(max_workers=workers)
+    except (OSError, ValueError, RuntimeError):
+        # Pool cannot start (sandboxed environment, missing semaphores,
+        # spawn failure): degrade gracefully to serial execution.
+        for i in misses:
+            results[i] = _run_with_retry(jobs[i], i, retries)
+        return
+
+    with pool:
+        futures = {i: pool.submit(_run_job_dict, jobs[i]) for i in misses}
+        retry_budget = {i: retries for i in misses}
+        pending = list(misses)
+        while pending:
+            i = pending.pop(0)
+            try:
+                results[i] = result_from_dict(futures[i].result(timeout=timeout))
+            except ReproError:
+                raise  # deterministic library failure: retrying is pointless
+            except cf.TimeoutError:
+                futures[i].cancel()
+                raise ExecutionError(
+                    f"job {i} ({jobs[i].workload.label} / {jobs[i].policy}) "
+                    f"exceeded its {timeout:g}s timeout"
+                ) from None
+            except Exception as exc:
+                if retry_budget[i] > 0:
+                    retry_budget[i] -= 1
+                    # A crashed worker may have broken the whole pool;
+                    # the retry runs in-process, which also covers
+                    # unpicklable-job failures.
+                    results[i] = _run_with_retry(jobs[i], i, retries=0)
+                else:
+                    raise ExecutionError(
+                        f"job {i} ({jobs[i].workload.label} / {jobs[i].policy}) "
+                        f"failed in worker: {exc}"
+                    ) from exc

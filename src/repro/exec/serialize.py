@@ -1,0 +1,135 @@
+"""Lossless JSON-safe serialisation of run results and system configs.
+
+The execution engine moves :class:`~repro.sim.results.RunResult`s across
+two boundaries — worker processes and the on-disk result cache — and both
+use the same dict representation so a cache hit is bit-identical to a
+fresh run. Floats survive because :func:`json.dumps` emits ``repr``-style
+shortest round-trip literals; the only JSON-hostile structure is
+``LoopBlockStats.ctc_histogram`` (int keys), which is re-keyed on load.
+
+``system_to_dict`` / ``system_from_dict`` give
+:class:`~repro.sim.system.SystemConfig` a canonical dict form used both
+to rebuild systems and to derive the content-address of a
+:class:`~repro.exec.jobs.JobSpec`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import asdict, fields
+from typing import Any, Dict, Optional, Type, TypeVar
+
+from ..cache.stats import CacheStats, CoherenceStats, LoopBlockStats
+from ..energy.model import EnergyResult
+from ..energy.technology import TechnologyParams
+from ..errors import ExecutionError
+from ..hierarchy.config import HierarchyConfig, LevelConfig, LLCLevelConfig
+from ..hierarchy.hierarchy import HierarchyStats
+from ..sim.results import RunResult
+from ..sim.system import SystemConfig
+
+T = TypeVar("T")
+
+
+def _from_fields(cls: Type[T], data: Dict[str, Any], what: str) -> T:
+    """Instantiate a dataclass from a dict, ignoring unknown keys.
+
+    Tolerating extras lets newer writers add counters without breaking
+    older readers; *missing* keys fall back to the dataclass defaults,
+    and dataclasses without defaults raise a clear error instead.
+    """
+    if not isinstance(data, dict):
+        raise ExecutionError(f"serialised {what} must be a dict, got {type(data).__name__}")
+    known = {f.name for f in fields(cls)}
+    try:
+        return cls(**{k: v for k, v in data.items() if k in known})
+    except TypeError as exc:
+        raise ExecutionError(f"cannot rebuild {what} from serialised form: {exc}") from None
+
+
+# ----------------------------------------------------------------------
+# RunResult
+# ----------------------------------------------------------------------
+def result_to_dict(result: RunResult) -> Dict[str, Any]:
+    """Flatten a :class:`RunResult` into a JSON-serialisable dict."""
+    loop = asdict(result.loop)
+    # JSON objects only have string keys; stringify here so that a dict
+    # that has already been through json.dumps compares equal to a
+    # freshly serialised one.
+    loop["ctc_histogram"] = {str(k): v for k, v in loop["ctc_histogram"].items()}
+    return {
+        "policy": result.policy,
+        "workload": result.workload,
+        "system": result.system,
+        "refs_per_core": result.refs_per_core,
+        "instructions": result.instructions,
+        "cycles": result.cycles,
+        "core_instructions": list(result.core_instructions),
+        "core_cycles": list(result.core_cycles),
+        "llc": asdict(result.llc),
+        "hier": asdict(result.hier),
+        "loop": loop,
+        "energy": asdict(result.energy),
+        "coherence": asdict(result.coherence) if result.coherence else None,
+        "extra": dict(result.extra),
+    }
+
+
+def result_from_dict(data: Dict[str, Any]) -> RunResult:
+    """Rebuild a :class:`RunResult` from :func:`result_to_dict` output."""
+    if not isinstance(data, dict):
+        raise ExecutionError(f"serialised RunResult must be a dict, got {type(data).__name__}")
+    missing = {"policy", "workload", "system", "llc", "hier", "loop", "energy"} - set(data)
+    if missing:
+        raise ExecutionError(f"serialised RunResult is missing fields: {sorted(missing)}")
+    loop_data = dict(data["loop"])
+    loop_data["ctc_histogram"] = {
+        int(k): v for k, v in loop_data.get("ctc_histogram", {}).items()
+    }
+    coherence: Optional[CoherenceStats] = None
+    if data.get("coherence") is not None:
+        coherence = _from_fields(CoherenceStats, data["coherence"], "CoherenceStats")
+    return RunResult(
+        policy=data["policy"],
+        workload=data["workload"],
+        system=data["system"],
+        refs_per_core=data["refs_per_core"],
+        instructions=data["instructions"],
+        cycles=data["cycles"],
+        core_instructions=[int(x) for x in data["core_instructions"]],
+        core_cycles=[float(x) for x in data["core_cycles"]],
+        llc=_from_fields(CacheStats, data["llc"], "CacheStats"),
+        hier=_from_fields(HierarchyStats, data["hier"], "HierarchyStats"),
+        loop=_from_fields(LoopBlockStats, loop_data, "LoopBlockStats"),
+        energy=_from_fields(EnergyResult, data["energy"], "EnergyResult"),
+        coherence=coherence,
+        extra=dict(data.get("extra", {})),
+    )
+
+
+# ----------------------------------------------------------------------
+# SystemConfig
+# ----------------------------------------------------------------------
+def system_to_dict(system: SystemConfig) -> Dict[str, Any]:
+    """Canonical dict form of a :class:`SystemConfig` (nested dataclasses)."""
+    return asdict(system)
+
+
+def system_from_dict(data: Dict[str, Any]) -> SystemConfig:
+    """Rebuild a :class:`SystemConfig` from :func:`system_to_dict` output."""
+    if not isinstance(data, dict) or "hierarchy" not in data:
+        raise ExecutionError("serialised SystemConfig must be a dict with a 'hierarchy'")
+    h = data["hierarchy"]
+    llc = dict(h["llc"])
+    llc["tech"] = _from_fields(TechnologyParams, llc["tech"], "TechnologyParams")
+    llc["sram_tech"] = _from_fields(TechnologyParams, llc["sram_tech"], "TechnologyParams")
+    hierarchy = _from_fields(
+        HierarchyConfig,
+        {
+            **h,
+            "l1": _from_fields(LevelConfig, h["l1"], "LevelConfig"),
+            "l2": _from_fields(LevelConfig, h["l2"], "LevelConfig"),
+            "llc": _from_fields(LLCLevelConfig, llc, "LLCLevelConfig"),
+        },
+        "HierarchyConfig",
+    )
+    return _from_fields(SystemConfig, {**data, "hierarchy": hierarchy}, "SystemConfig")

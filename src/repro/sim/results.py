@@ -123,6 +123,22 @@ class RunResult:
         """Coherence traffic (Fig. 20c); zero when coherence is off."""
         return self.coherence.total_traffic if self.coherence else 0
 
+    # ------------------------------------------------------------------
+    # serialisation (lazy imports: repro.exec depends on this module)
+    # ------------------------------------------------------------------
+    def to_dict(self) -> Dict:
+        """JSON-safe dict form (see :mod:`repro.exec.serialize`)."""
+        from ..exec.serialize import result_to_dict
+
+        return result_to_dict(self)
+
+    @classmethod
+    def from_dict(cls, data: Dict) -> "RunResult":
+        """Rebuild a result previously flattened by :meth:`to_dict`."""
+        from ..exec.serialize import result_from_dict
+
+        return result_from_dict(data)
+
     def summary(self) -> Dict[str, float]:
         """A compact dict of headline metrics (reports, EXPERIMENTS.md)."""
         return {

@@ -5,19 +5,22 @@ requires rebuilding the workload (same seed → bit-identical trace) for
 every run. The runner owns that discipline: callers pass a *workload
 builder* (``ScaleContext -> Workload``) and a list of policy names, and
 get back one :class:`~repro.sim.results.RunResult` per policy.
+
+Builders returned by this module are declarative
+:class:`~repro.exec.jobs.WorkloadSpec` values (picklable, content-
+addressable) rather than closures; any callable with the same signature
+still works for the serial path. When a process-wide result cache is
+active (see :func:`repro.exec.set_active_cache`), :func:`run_one`
+transparently serves cache hits for spec-described runs.
 """
 
 from __future__ import annotations
 
 from typing import Callable, Dict, Iterable, Sequence
 
-from ..workloads.mixes import (
-    Workload,
-    make_duplicate,
-    make_multiprogrammed,
-    make_multithreaded,
-    make_table3_mix,
-)
+from ..errors import AnalysisError
+from ..exec.jobs import JobSpec, WorkloadSpec
+from ..workloads.mixes import Workload
 from ..workloads.synthetic import ScaleContext
 from .results import RunResult
 from .simulator import Simulator
@@ -30,40 +33,26 @@ WorkloadBuilder = Callable[[ScaleContext], Workload]
 DEFAULT_REFS = 120_000
 
 
-def duplicate_builder(benchmark: str, ncores: int = 4, seed: int = 0) -> WorkloadBuilder:
+def duplicate_builder(benchmark: str, ncores: int = 4, seed: int = 0) -> WorkloadSpec:
     """Builder for N duplicate copies of one benchmark (Figs. 2/4/6)."""
-
-    def build(ctx: ScaleContext) -> Workload:
-        return make_duplicate(benchmark, ctx, ncores=ncores, seed=seed)
-
-    return build
+    return WorkloadSpec.duplicate(benchmark, ncores=ncores, seed=seed)
 
 
-def mix_builder(mix_name: str, seed: int = 0) -> WorkloadBuilder:
+def mix_builder(mix_name: str, seed: int = 0) -> WorkloadSpec:
     """Builder for a Table III mix (WL1..WH5)."""
-
-    def build(ctx: ScaleContext) -> Workload:
-        return make_table3_mix(mix_name, ctx, seed=seed)
-
-    return build
+    return WorkloadSpec.mix(mix_name, seed=seed)
 
 
-def benchmarks_builder(benchmarks: Sequence[str], seed: int = 0, name: str | None = None) -> WorkloadBuilder:
+def benchmarks_builder(
+    benchmarks: Sequence[str], seed: int = 0, name: str | None = None
+) -> WorkloadSpec:
     """Builder for an arbitrary multiprogrammed combination."""
-
-    def build(ctx: ScaleContext) -> Workload:
-        return make_multiprogrammed(benchmarks, ctx, seed=seed, name=name)
-
-    return build
+    return WorkloadSpec.multiprogrammed(benchmarks, seed=seed, name=name)
 
 
-def multithreaded_builder(benchmark: str, nthreads: int = 4, seed: int = 0) -> WorkloadBuilder:
+def multithreaded_builder(benchmark: str, nthreads: int = 4, seed: int = 0) -> WorkloadSpec:
     """Builder for a PARSEC-like multithreaded workload (Fig. 20)."""
-
-    def build(ctx: ScaleContext) -> Workload:
-        return make_multithreaded(benchmark, ctx, nthreads=nthreads, seed=seed)
-
-    return build
+    return WorkloadSpec.multithreaded(benchmark, nthreads=nthreads, seed=seed)
 
 
 def run_one(
@@ -73,7 +62,27 @@ def run_one(
     refs_per_core: int = DEFAULT_REFS,
     **policy_kwargs,
 ) -> RunResult:
-    """Simulate one (policy, workload) pair on a fresh hierarchy."""
+    """Simulate one (policy, workload) pair on a fresh hierarchy.
+
+    If a process-wide result cache is active and the run is fully
+    described by declarative values (a :class:`WorkloadSpec` builder, a
+    policy *name*, no extra policy kwargs), the cache is consulted first
+    and populated afterwards; otherwise the run always simulates.
+    """
+    if not policy_kwargs and isinstance(builder, WorkloadSpec) and isinstance(policy, str):
+        from ..exec.cache import get_active_cache
+
+        cache = get_active_cache()
+        if cache is not None:
+            job = JobSpec(
+                system=system, workload=builder, policy=policy, refs_per_core=refs_per_core
+            )
+            hit = cache.get(job)
+            if hit is not None:
+                return hit
+            result = job.run()
+            cache.put(job, result)
+            return result
     workload = builder(system.scale_context())
     sim = Simulator(system, policy, workload, **policy_kwargs)
     return sim.run(refs_per_core)
@@ -114,9 +123,14 @@ def normalized(
     ``metric`` names a :class:`RunResult` property (``"epi"``,
     ``"mpki"``, ``"throughput"``, ``"llc_writes"``, ...).
     """
+    if baseline not in results:
+        raise AnalysisError(
+            f"baseline policy {baseline!r} missing from results "
+            f"(have: {sorted(results)})"
+        )
     base = getattr(results[baseline], metric)
     if base == 0:
-        raise ZeroDivisionError(
-            f"baseline {baseline!r} has zero {metric!r}; cannot normalise"
+        raise AnalysisError(
+            f"cannot normalise {metric!r}: baseline {baseline!r} has zero {metric!r}"
         )
     return {name: getattr(r, metric) / base for name, r in results.items()}

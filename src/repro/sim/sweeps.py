@@ -16,7 +16,10 @@ import pathlib
 from dataclasses import dataclass, field
 from typing import Callable, Dict, Iterable, List, Optional, Sequence, Union
 
-from ..errors import AnalysisError
+from ..errors import AnalysisError, ExecutionError
+from ..exec.cache import ResultCache
+from ..exec.jobs import JobSpec, WorkloadSpec
+from ..exec.pool import execute_jobs
 from .results import RunResult
 from .runner import WorkloadBuilder, run_one
 from .system import SystemConfig
@@ -88,23 +91,65 @@ class Sweep:
     def run(
         self,
         progress: Optional[Callable[[SweepRecord], None]] = None,
+        max_workers: int = 1,
+        cache: Optional[ResultCache] = None,
     ) -> List[SweepRecord]:
-        """Execute the grid; returns one record per run (stable order)."""
+        """Execute the grid; returns one record per run (stable order).
+
+        ``max_workers > 1`` fans the grid out over worker processes and
+        ``cache`` memoises results by content address; both paths emit
+        records in exactly the serial order (systems × workloads ×
+        policies, insertion order), so downstream CSV/normalisation is
+        oblivious to how the grid was executed. The default
+        (``max_workers=1``, no cache) is the unchanged serial path.
+        """
+        cells = [
+            (sys_label, system, wl_label, builder, policy)
+            for sys_label, system in self.systems.items()
+            for wl_label, builder in self.workloads.items()
+            for policy in self.policies
+        ]
+        if max_workers <= 1 and cache is None:
+            results = [
+                run_one(system, policy, builder, self.refs_per_core)
+                for _, system, _, builder, policy in cells
+            ]
+        else:
+            results = execute_jobs(
+                self._jobs(cells), max_workers=max_workers, cache=cache
+            )
         records: List[SweepRecord] = []
-        for sys_label, system in self.systems.items():
-            for wl_label, builder in self.workloads.items():
-                for policy in self.policies:
-                    result = run_one(system, policy, builder, self.refs_per_core)
-                    record = SweepRecord(
-                        system=sys_label,
-                        workload=wl_label,
-                        policy=policy,
-                        metrics=self._extract(result),
-                    )
-                    records.append(record)
-                    if progress is not None:
-                        progress(record)
+        for (sys_label, _, wl_label, _, policy), result in zip(cells, results):
+            record = SweepRecord(
+                system=sys_label,
+                workload=wl_label,
+                policy=policy,
+                metrics=self._extract(result),
+            )
+            records.append(record)
+            if progress is not None:
+                progress(record)
         return records
+
+    def _jobs(self, cells) -> List[JobSpec]:
+        """Lower grid cells to :class:`JobSpec`s (parallel/cached path)."""
+        jobs: List[JobSpec] = []
+        for _, system, wl_label, builder, policy in cells:
+            if not isinstance(builder, WorkloadSpec):
+                raise ExecutionError(
+                    f"workload {wl_label!r} is a {type(builder).__name__}, not a "
+                    "WorkloadSpec; parallel or cached sweeps need declarative "
+                    "specs (see repro.exec.WorkloadSpec / sim.runner builders)"
+                )
+            jobs.append(
+                JobSpec(
+                    system=system,
+                    workload=builder,
+                    policy=policy,
+                    refs_per_core=self.refs_per_core,
+                )
+            )
+        return jobs
 
     def _extract(self, result: RunResult) -> Dict[str, float]:
         out = {}
@@ -158,21 +203,51 @@ def records_to_csv(
     return text
 
 
-def load_csv(path: Union[str, pathlib.Path]) -> List[SweepRecord]:
-    """Read records back from a CSV written by :func:`records_to_csv`."""
+def load_csv(
+    path: Union[str, pathlib.Path],
+    on_error: str = "raise",
+) -> List[SweepRecord]:
+    """Read records back from a CSV written by :func:`records_to_csv`.
+
+    A row with a missing/empty/non-numeric metric value raises
+    :class:`AnalysisError` naming the row and column; pass
+    ``on_error="skip"`` to drop such rows instead.
+    """
+    if on_error not in ("raise", "skip"):
+        raise AnalysisError(f"on_error must be 'raise' or 'skip', got {on_error!r}")
     path = pathlib.Path(path)
     if not path.exists():
         raise AnalysisError(f"no such sweep CSV: {path}")
     records: List[SweepRecord] = []
     with path.open() as fh:
-        for row in csv.DictReader(fh):
-            meta = {k: row.pop(k) for k in ("system", "workload", "policy")}
-            records.append(
-                SweepRecord(
-                    system=meta["system"],
-                    workload=meta["workload"],
-                    policy=meta["policy"],
-                    metrics={k: float(v) for k, v in row.items()},
-                )
-            )
+        reader = csv.DictReader(fh)
+        for lineno, row in enumerate(reader, start=2):  # line 1 is the header
+            try:
+                records.append(_parse_csv_row(path, lineno, row))
+            except AnalysisError:
+                if on_error == "raise":
+                    raise
     return records
+
+
+def _parse_csv_row(path: pathlib.Path, lineno: int, row: Dict) -> SweepRecord:
+    meta = {}
+    for key in ("system", "workload", "policy"):
+        value = row.pop(key, None)
+        if value is None or value == "":
+            raise AnalysisError(f"{path}:{lineno}: row is missing its {key!r} column")
+        meta[key] = value
+    metrics: Dict[str, float] = {}
+    for k, v in row.items():
+        if v is None or v == "":
+            raise AnalysisError(
+                f"{path}:{lineno}: row ({meta['system']}/{meta['workload']}/"
+                f"{meta['policy']}) has no value for metric {k!r}"
+            )
+        try:
+            metrics[k] = float(v)
+        except ValueError:
+            raise AnalysisError(
+                f"{path}:{lineno}: metric {k!r} has non-numeric value {v!r}"
+            ) from None
+    return SweepRecord(metrics=metrics, **meta)

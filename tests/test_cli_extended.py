@@ -75,3 +75,48 @@ class TestValidateCommand:
         out = capsys.readouterr().out
         assert "libquantum" in out
         assert code == 0, out
+
+
+class TestExecOptions:
+    SWEEP = ["sweep", "--workloads", "mcf", "--policies", "non-inclusive,lap",
+             "--refs", "600", "--ncores", "2", "--llc-kb", "32", "--l2-kb", "4"]
+
+    def test_parallel_sweep_matches_serial(self, capsys):
+        assert main(self.SWEEP) == 0
+        serial = capsys.readouterr().out
+        assert main(["--jobs", "2"] + self.SWEEP) == 0
+        parallel = capsys.readouterr().out
+        assert parallel == serial
+
+    def test_cache_dir_round_trip(self, capsys, tmp_path):
+        cache_dir = str(tmp_path / "cache")
+        assert main(["--cache-dir", cache_dir] + self.SWEEP) == 0
+        cold = capsys.readouterr()
+        assert main(["--cache-dir", cache_dir] + self.SWEEP) == 0
+        warm = capsys.readouterr()
+        assert warm.out == cold.out
+
+        assert main(["cache", "stats", "--cache-dir", cache_dir]) == 0
+        stats = capsys.readouterr().out
+        assert "entries" in stats and cache_dir in stats
+
+        assert main(["cache", "clear", "--cache-dir", cache_dir]) == 0
+        assert "removed 2" in capsys.readouterr().out
+
+    def test_cache_env_var(self, capsys, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "envcache"))
+        assert main(["cache", "stats"]) == 0
+        assert "envcache" in capsys.readouterr().out
+
+    def test_cache_without_dir_fails(self, capsys, monkeypatch):
+        monkeypatch.delenv("REPRO_CACHE_DIR", raising=False)
+        assert main(["cache", "stats"]) == 2
+        assert "no result cache" in capsys.readouterr().err
+
+    def test_active_cache_restored_after_command(self, monkeypatch, tmp_path):
+        from repro.exec import get_active_cache
+
+        monkeypatch.delenv("REPRO_CACHE_DIR", raising=False)
+        assert get_active_cache() is None
+        assert main(["cache", "stats", "--cache-dir", str(tmp_path / "c")]) == 0
+        assert get_active_cache() is None

@@ -93,3 +93,46 @@ class TestCSVRoundtrip:
     def test_missing_csv_rejected(self, tmp_path):
         with pytest.raises(AnalysisError):
             load_csv(tmp_path / "none.csv")
+
+
+class TestLoadCSVHardening:
+    HEADER = "system,workload,policy,epi,mpki"
+    GOOD = "base,mcf,lap,1.5e-10,12.5"
+
+    def write(self, tmp_path, *lines):
+        path = tmp_path / "sweep.csv"
+        path.write_text("\n".join((self.HEADER,) + lines) + "\n")
+        return path
+
+    def test_empty_metric_value_raises_naming_row(self, tmp_path):
+        path = self.write(tmp_path, self.GOOD, "base,mcf,exclusive,,12.5")
+        with pytest.raises(AnalysisError) as exc:
+            load_csv(path)
+        msg = str(exc.value)
+        assert ":3:" in msg and "'epi'" in msg and "exclusive" in msg
+
+    def test_short_row_raises_naming_row(self, tmp_path):
+        path = self.write(tmp_path, "base,mcf,lap,1.5e-10")
+        with pytest.raises(AnalysisError, match="mpki"):
+            load_csv(path)
+
+    def test_non_numeric_value_raises_naming_row(self, tmp_path):
+        path = self.write(tmp_path, "base,mcf,lap,oops,12.5")
+        with pytest.raises(AnalysisError, match="'oops'"):
+            load_csv(path)
+
+    def test_missing_meta_column_raises(self, tmp_path):
+        path = self.write(tmp_path, ",mcf,lap,1.5e-10,12.5")
+        with pytest.raises(AnalysisError, match="'system'"):
+            load_csv(path)
+
+    def test_skip_mode_drops_bad_rows(self, tmp_path):
+        path = self.write(tmp_path, self.GOOD, "base,mcf,exclusive,,12.5", self.GOOD)
+        records = load_csv(path, on_error="skip")
+        assert len(records) == 2
+        assert all(r.policy == "lap" for r in records)
+
+    def test_unknown_on_error_rejected(self, tmp_path):
+        path = self.write(tmp_path, self.GOOD)
+        with pytest.raises(AnalysisError, match="on_error"):
+            load_csv(path, on_error="ignore")
