@@ -1,0 +1,25 @@
+# Developer conveniences. Everything also works as plain commands —
+# the targets only pin flags and paths.
+
+PYTHON ?= python
+PYTHONPATH := src
+
+.PHONY: test bench lint
+
+test:
+	PYTHONPATH=$(PYTHONPATH) $(PYTHON) -m pytest -x -q
+
+bench:
+	cd benchmarks && PYTHONPATH=../$(PYTHONPATH) $(PYTHON) -m pytest -q --benchmark-only
+
+# `ruff` is an optional dependency (`pip install -e '.[lint]'`); the
+# target degrades to a notice where it is unavailable so `make lint`
+# is safe in minimal containers.
+lint:
+	@if command -v ruff >/dev/null 2>&1; then \
+		ruff check src tests benchmarks; \
+	elif $(PYTHON) -c "import ruff" >/dev/null 2>&1; then \
+		$(PYTHON) -m ruff check src tests benchmarks; \
+	else \
+		echo "ruff not installed; skipping (pip install -e '.[lint]' to enable)"; \
+	fi

@@ -127,6 +127,11 @@ EXPERIMENT_INDEX: Sequence[ExperimentEntry] = (
                     "The paper states DASCA-style dead-write bypassing is orthogonal "
                     "to LAP and composes with it for further dynamic-energy savings.",
                     "ext_deadwrite"),
+    ExperimentEntry("Harness", "Hot-path throughput (infrastructure)",
+                    "Simulator accesses/sec on the Fig. 14 grid, instrumented vs "
+                    "probe-free; the probe-bus refactor's >=1.5x uninstrumented "
+                    "speedup is recorded in BENCH_hotpath.json.",
+                    "hotpath_throughput"),
 )
 
 

@@ -54,6 +54,7 @@ class CacheBlock:
         "state",
         "tech",
         "way",
+        "cset",
     )
 
     def __init__(self, way: int, tech: str = "sram") -> None:
@@ -67,6 +68,10 @@ class CacheBlock:
         self.insert_seq = 0
         self.rrpv = 0
         self.state = STATE_NONE
+        # Owning CacheSet; assigned once at set construction (blocks
+        # never move between sets) so loop-bit writes can maintain the
+        # set's incremental loop-block counter.
+        self.cset = None
 
     def reset(self) -> None:
         """Invalidate the block, clearing all metadata except geometry."""
@@ -79,7 +84,7 @@ class CacheBlock:
         self.rrpv = 0
         self.state = STATE_NONE
 
-    def fill(self, tag: int, *, dirty: bool, loop_bit: bool, now: int) -> None:
+    def fill(self, tag: int, dirty: bool, loop_bit: bool, now: int) -> None:
         """Install a new line in this way."""
         self.tag = tag
         self.valid = True
@@ -89,6 +94,18 @@ class CacheBlock:
         self.insert_seq = now
         self.rrpv = 0
         self.state = STATE_NONE
+
+    def set_loop_bit(self, value: bool) -> None:
+        """Write the loop-bit, keeping the owning set's loop counter exact.
+
+        Every loop-bit write outside :meth:`fill`/:meth:`reset` (which
+        the set's install/drop paths account for) must go through here —
+        the LLC's Fig. 16 occupancy metric reads the incrementally
+        maintained per-set counters instead of scanning every way.
+        """
+        if self.valid and value != self.loop_bit:
+            self.cset.loop_count += 1 if value else -1
+        self.loop_bit = value
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         flags = "".join(

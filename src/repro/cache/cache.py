@@ -16,7 +16,7 @@ technology.
 
 from __future__ import annotations
 
-from typing import List, NamedTuple, Optional
+from typing import Callable, List, NamedTuple, Optional
 
 from ..errors import ConfigurationError
 from ..utils import ilog2, require_pow2
@@ -116,14 +116,23 @@ class Cache:
         self._index_bits = ilog2(num_sets)
         self._index_mask = num_sets - 1
         self._bank_mask = banks - 1
+        # Tag extraction is ``addr >> _tag_shift``; precomputed so the
+        # hot path slices each address exactly once per operation.
+        self._tag_shift = self._offset_bits + self._index_bits
         self.sets: List[CacheSet] = [CacheSet(i, assoc, way_techs) for i in range(num_sets)]
         self.stats = CacheStats()
         self._tick = 0
-        # Optional per-set policy resolver consulted on hit-path touches
-        # (set by inclusion policies so set-dueled replacement schemes
-        # like SRRIP receive their hit promotions). ``None`` entries
-        # fall back to the cache's default replacement.
-        self.touch_policy = None
+        #: Optional per-set replacement resolver consulted on hit-path
+        #: touches. Inclusion policies set this (see
+        #: :meth:`repro.inclusion.base.InclusionPolicy.bind`) so that
+        #: set-dueled replacement schemes receive their hit promotions:
+        #: given a set index, it returns the :class:`ReplacementPolicy`
+        #: whose ``on_hit`` should run for that set, or ``None`` to fall
+        #: back to the cache's default ``replacement``. The contract is
+        #: per-access — leader sets may answer differently from follower
+        #: sets, and the winning answer may change between accesses as
+        #: the duel progresses.
+        self.touch_policy: Optional[Callable[[int], Optional[ReplacementPolicy]]] = None
 
     # ------------------------------------------------------------------
     # address slicing
@@ -163,13 +172,17 @@ class Cache:
         caches, hence costed as a tag probe only.
         """
         self.stats.tag_probes += 1
-        return self.sets[self.set_index(addr)].find(self.tag_of(addr))
+        return self.sets[(addr >> self._offset_bits) & self._index_mask].tag_map.get(
+            addr >> self._tag_shift
+        )
 
     def peek(self, addr: int) -> Optional[CacheBlock]:
         """Stat-free lookup for tests, assertions and sampling."""
-        return self.sets[self.set_index(addr)].find(self.tag_of(addr))
+        return self.sets[(addr >> self._offset_bits) & self._index_mask].tag_map.get(
+            addr >> self._tag_shift
+        )
 
-    def lookup(self, addr: int, *, is_write: bool = False) -> Optional[CacheBlock]:
+    def lookup(self, addr: int, is_write: bool = False) -> Optional[CacheBlock]:
         """Full lookup: tag probe plus data access on hit.
 
         On a hit, the data array is read (or written, for a store hit),
@@ -177,27 +190,35 @@ class Cache:
         and a store hit sets the dirty bit. Returns the block on hit,
         None on miss.
         """
-        self.stats.lookups += 1
-        self.stats.tag_probes += 1
-        block = self.sets[self.set_index(addr)].find(self.tag_of(addr))
+        stats = self.stats
+        stats.lookups += 1
+        stats.tag_probes += 1
+        set_index = (addr >> self._offset_bits) & self._index_mask
+        block = self.sets[set_index].tag_map.get(addr >> self._tag_shift)
         if block is None:
-            self.stats.misses += 1
+            stats.misses += 1
             return None
-        self.stats.hits += 1
+        stats.hits += 1
         if is_write:
-            self._count_data_write(block.tech)
+            if block.tech == "sram":
+                stats.data_writes_sram += 1
+            else:
+                stats.data_writes_stt += 1
             block.dirty = True
+        elif block.tech == "sram":
+            stats.data_reads_sram += 1
         else:
-            self._count_data_read(block.tech)
-        toucher = self.touch_policy(self.set_index(addr)) if self.touch_policy else None
-        (toucher or self.replacement).on_hit(block, self._now())
+            stats.data_reads_stt += 1
+        tp = self.touch_policy
+        toucher = tp(set_index) if tp is not None else None
+        self._tick = now = self._tick + 1
+        (toucher or self.replacement).on_hit(block, now)
         return block
 
     def insert(
         self,
         addr: int,
-        *,
-        dirty: bool,
+        dirty: bool = False,
         loop_bit: bool = False,
         region: Optional[str] = None,
         policy: Optional[ReplacementPolicy] = None,
@@ -208,24 +229,73 @@ class Cache:
         block, or None when an invalid way was used. The data-array
         write is counted against the region the line lands in.
         """
-        cache_set = self.sets[self.set_index(addr)]
-        candidates = cache_set.region_blocks(region)
-        if not candidates:
-            raise ConfigurationError(
-                f"{self.name}: no ways in region {region!r} (hybrid misconfiguration)"
-            )
+        set_index = (addr >> self._offset_bits) & self._index_mask
+        cache_set = self.sets[set_index]
+        if region is None:
+            candidates = cache_set.blocks
+        else:
+            candidates = cache_set.region_blocks(region)
+            if not candidates:
+                raise ConfigurationError(
+                    f"{self.name}: no ways in region {region!r} (hybrid misconfiguration)"
+                )
         chooser = policy if policy is not None else self.replacement
-        now = self._now()
+        self._tick = now = self._tick + 1
         victim = chooser.victim(candidates, now)
-        evicted = self._capture_eviction(cache_set, victim)
-        cache_set.install(victim, self.tag_of(addr), dirty=dirty, loop_bit=loop_bit, now=now)
+        stats = self.stats
+        if victim.valid:
+            stats.evictions += 1
+            if victim.dirty:
+                stats.dirty_evictions += 1
+            evicted = EvictedLine(
+                ((victim.tag << self._index_bits) | set_index) << self._offset_bits,
+                victim.dirty,
+                victim.loop_bit,
+                victim.tech,
+                victim.state,
+                victim.last_access > victim.insert_seq,
+            )
+        else:
+            evicted = None
+        cache_set.install(victim, addr >> self._tag_shift, dirty, loop_bit, now)
         chooser.on_insert(victim, now)
-        self.stats.insertions += 1
-        self.stats.tag_probes += 1
-        self._count_data_write(victim.tech)
+        stats.insertions += 1
+        stats.tag_probes += 1
+        if victim.tech == "sram":
+            stats.data_writes_sram += 1
+        else:
+            stats.data_writes_stt += 1
         return evicted
 
-    def update(self, block: CacheBlock, *, dirty: bool) -> None:
+    def fill(self, addr: int, dirty: bool = False) -> None:
+        """Install a line whose victim nobody inspects (upper-level fills).
+
+        Identical event accounting to :meth:`insert` with the default
+        replacement policy and no region constraint, but never
+        constructs an :class:`EvictedLine` — the L1 fill path discards
+        victims (their dirtiness already lives in the L2 copy), so the
+        snapshot allocation would be pure overhead.
+        """
+        set_index = (addr >> self._offset_bits) & self._index_mask
+        cache_set = self.sets[set_index]
+        self._tick = now = self._tick + 1
+        chooser = self.replacement
+        victim = chooser.victim(cache_set.blocks, now)
+        stats = self.stats
+        if victim.valid:
+            stats.evictions += 1
+            if victim.dirty:
+                stats.dirty_evictions += 1
+        cache_set.install(victim, addr >> self._tag_shift, dirty, False, now)
+        chooser.on_insert(victim, now)
+        stats.insertions += 1
+        stats.tag_probes += 1
+        if victim.tech == "sram":
+            stats.data_writes_sram += 1
+        else:
+            stats.data_writes_stt += 1
+
+    def update(self, block: CacheBlock, dirty: bool = False) -> None:
         """In-place data write to an existing block (e.g. dirty victim
         merging into an LLC copy)."""
         block.dirty = block.dirty or dirty
@@ -240,22 +310,39 @@ class Cache:
         propagate dirty data) or None. Counts a tag probe; dropping a
         line does not touch the data array.
         """
-        cache_set = self.sets[self.set_index(addr)]
+        cache_set = self.sets[(addr >> self._offset_bits) & self._index_mask]
         self.stats.tag_probes += 1
-        block = cache_set.find(self.tag_of(addr))
+        block = cache_set.tag_map.get(addr >> self._tag_shift)
         if block is None:
             return None
         snapshot = EvictedLine(
-            addr=self.addr_of(cache_set.index, block.tag),
-            dirty=block.dirty,
-            loop_bit=block.loop_bit,
-            tech=block.tech,
-            state=block.state,
-            reused=block.last_access > block.insert_seq,
+            self.addr_of(cache_set.index, block.tag),
+            block.dirty,
+            block.loop_bit,
+            block.tech,
+            block.state,
+            block.last_access > block.insert_seq,
         )
         cache_set.drop(block)
         self.stats.invalidations += 1
         return snapshot
+
+    def discard(self, addr: int) -> bool:
+        """Invalidate the line holding ``addr`` without snapshotting it.
+
+        Event accounting is identical to :meth:`invalidate`; use this on
+        paths that throw the snapshot away (L1 kills on L2 victims,
+        exclusive-hit invalidations) so no :class:`EvictedLine` is
+        allocated. Returns whether a line was dropped.
+        """
+        cache_set = self.sets[(addr >> self._offset_bits) & self._index_mask]
+        self.stats.tag_probes += 1
+        block = cache_set.tag_map.get(addr >> self._tag_shift)
+        if block is None:
+            return False
+        cache_set.drop(block)
+        self.stats.invalidations += 1
+        return True
 
     def evict_block(self, cache_set: CacheSet, block: CacheBlock) -> Optional[EvictedLine]:
         """Explicitly evict ``block`` from ``cache_set`` (policy layers use
@@ -296,15 +383,18 @@ class Cache:
         return sum(s.occupancy() for s in self.sets)
 
     def loop_block_occupancy(self) -> tuple[int, int]:
-        """(valid lines, valid lines with loop_bit set) — Fig. 16 metric."""
+        """(valid lines, valid lines with loop_bit set) — Fig. 16 metric.
+
+        Reads the per-set incremental counters (O(num_sets)) instead of
+        scanning every way of every set; see
+        :meth:`~repro.cache.block.CacheBlock.set_loop_bit` for the
+        write-side discipline that keeps them exact.
+        """
         valid = 0
         loops = 0
         for s in self.sets:
-            for b in s.blocks:
-                if b.valid:
-                    valid += 1
-                    if b.loop_bit:
-                        loops += 1
+            valid += len(s.tag_map)
+            loops += s.loop_count
         return valid, loops
 
     def resident_addrs(self) -> list[int]:

@@ -39,10 +39,14 @@ class LoopAwarePolicy(ReplacementPolicy):
         self.baseline.on_hit(block, now)
 
     def victim(self, blocks: Sequence[CacheBlock], now: int) -> CacheBlock:
-        invalid = self.first_invalid(blocks)
-        if invalid is not None:
-            return invalid
-        non_loop = [b for b in blocks if not b.loop_bit]
+        # One pass gathers the non-loop candidates and short-circuits on
+        # the first invalid way (same preference order as two passes).
+        non_loop = []
+        for block in blocks:
+            if not block.valid:
+                return block
+            if not block.loop_bit:
+                non_loop.append(block)
         if non_loop:
             return self.baseline.victim(non_loop, now)
         return self.baseline.victim(blocks, now)

@@ -19,12 +19,15 @@ class LRUPolicy(ReplacementPolicy):
     name = "lru"
 
     def victim(self, blocks: Sequence[CacheBlock], now: int) -> CacheBlock:
-        invalid = self.first_invalid(blocks)
-        if invalid is not None:
-            return invalid
+        # Single pass: the first invalid way wins immediately, otherwise
+        # the least-recently-used valid way (first-win on ties).
         victim = blocks[0]
+        if not victim.valid:
+            return victim
         oldest = victim.last_access
         for block in blocks:
+            if not block.valid:
+                return block
             if block.last_access < oldest:
                 victim = block
                 oldest = block.last_access
@@ -42,12 +45,13 @@ class MRUPolicy(ReplacementPolicy):
     name = "mru"
 
     def victim(self, blocks: Sequence[CacheBlock], now: int) -> CacheBlock:
-        invalid = self.first_invalid(blocks)
-        if invalid is not None:
-            return invalid
         victim = blocks[0]
+        if not victim.valid:
+            return victim
         newest = victim.last_access
         for block in blocks:
+            if not block.valid:
+                return block
             if block.last_access > newest:
                 victim = block
                 newest = block.last_access

@@ -113,19 +113,19 @@ class LAPPolicy(InclusionPolicy):
 
     def on_l2_dirtied(self, block: CacheBlock) -> None:
         # Fig. 10a: a written block can no longer be a loop-block.
-        block.loop_bit = False
+        block.set_loop_bit(False)
 
     def l2_victim(self, core: int, line: EvictedLine) -> None:
         llc = self.llc
         existing = llc.probe(line.addr)
         if line.dirty:
             if existing is not None:
-                llc.update(existing, dirty=True)
-                existing.loop_bit = False
+                llc.update(existing, True)
+                existing.set_loop_bit(False)
                 llc.stats.update_writes += 1
                 self.h.note_dirty_victim(line.addr)
                 self.h.charge_llc_write(core, line.addr, existing.tech)
-                self._record_duel_write(llc.set_index(line.addr))
+                self._record_duel_write(line.addr)
             else:
                 self._place_and_insert(
                     core, line.addr, dirty=True, loop_bit=False, category="dirty_victim"
@@ -134,7 +134,7 @@ class LAPPolicy(InclusionPolicy):
         if existing is not None:
             # Fig. 10b: the clean data is discarded; only the loop-bit in
             # the SRAM tag array is refreshed — no data-array write.
-            existing.loop_bit = line.loop_bit
+            existing.set_loop_bit(line.loop_bit)
             return
         # A clean victim with no duplicate: the one clean-writeback case.
         self._place_and_insert(
@@ -152,6 +152,6 @@ class LAPPolicy(InclusionPolicy):
         choice = self.dueling.policy_for(set_index)
         return self._loop_aware if choice == ROLE_LEADER_A else self._lru
 
-    def _record_duel_miss(self, set_index: int) -> None:
+    def _record_duel_miss(self, addr: int) -> None:
         if self.dueling is not None:
-            self.dueling.record_miss(set_index)
+            self.dueling.record_miss(self.llc.set_index(addr))

@@ -78,7 +78,7 @@ class LhybridPolicy(LAPPolicy):
         if line.dirty and self.winv:
             existing = self.llc.probe(line.addr)
             if existing is not None and existing.tech == "stt":
-                self.llc.invalidate(line.addr)
+                self.llc.discard(line.addr)
                 self.h.note_llc_evict(line.addr)
                 self.winv_redirects += 1
                 # Fig. 11a: the dirty data explicitly lands in SRAM.

@@ -22,7 +22,7 @@ copy killed, one ``cache_to_cache`` per peer-supplied fill.
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING
+from typing import TYPE_CHECKING, Dict, List
 
 from ..cache.block import (
     STATE_EXCLUSIVE,
@@ -37,11 +37,40 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
 
 
 class CoherenceController:
-    """Bus-snooping MOESI controller over the per-core L2s."""
+    """Bus-snooping MOESI controller over the per-core L2s.
+
+    Alongside the MOESI states it maintains a **sharers map** —
+    ``addr → bitmask of cores whose L2 holds the line`` — updated by the
+    hierarchy at every L2 insert/drop. Snoop fan-out and
+    :meth:`CacheHierarchy.shared_by_peers` read the map in O(1) instead
+    of probing every core's L2 tag array per query.
+    """
 
     def __init__(self, hierarchy: "CacheHierarchy") -> None:
         self.h = hierarchy
         self.stats = CoherenceStats()
+        self._sharers: Dict[int, int] = {}
+
+    # ------------------------------------------------------------------
+    # sharers map maintenance (driven by the hierarchy's L2 mechanics)
+    # ------------------------------------------------------------------
+    def on_l2_insert(self, core: int, addr: int) -> None:
+        """``core``'s L2 now holds ``addr``."""
+        sharers = self._sharers
+        sharers[addr] = sharers.get(addr, 0) | (1 << core)
+
+    def on_l2_drop(self, core: int, addr: int) -> None:
+        """``core``'s L2 no longer holds ``addr``."""
+        sharers = self._sharers
+        mask = sharers.get(addr, 0) & ~(1 << core)
+        if mask:
+            sharers[addr] = mask
+        else:
+            sharers.pop(addr, None)
+
+    def peers_of(self, core: int, addr: int) -> int:
+        """Bitmask of cores other than ``core`` whose L2 holds ``addr``."""
+        return self._sharers.get(addr, 0) & ~(1 << core)
 
     # ------------------------------------------------------------------
     # miss-path hooks
@@ -111,18 +140,17 @@ class CoherenceController:
         # Maintain the no-stale-LLC invariant: the LLC duplicate (if
         # any) is now stale and must go.
         if self.h.llc.peek(addr) is not None:
-            self.h.llc.invalidate(addr)
+            self.h.llc.discard(addr)
             self.h.note_llc_evict(addr)
 
     # ------------------------------------------------------------------
     # internals
     # ------------------------------------------------------------------
-    def _holders(self, core: int, addr: int) -> list:
-        return [
-            peer
-            for peer in range(self.h.config.ncores)
-            if peer != core and self.h.l2s[peer].peek(addr) is not None
-        ]
+    def _holders(self, core: int, addr: int) -> List[int]:
+        mask = self.peers_of(core, addr)
+        if not mask:
+            return []
+        return [peer for peer in range(self.h.config.ncores) if (mask >> peer) & 1]
 
     def _broadcast_invalidate(self, core: int, addr: int) -> None:
         self.stats.snoop_broadcasts += 1
@@ -132,9 +160,10 @@ class CoherenceController:
     def _invalidate_peer(self, peer: int, addr: int) -> None:
         """Kill a peer's copy (L2 and, by inclusion, L1)."""
         self.stats.invalidation_messages += 1
-        self.h.l1s[peer].invalidate(addr)
+        self.h.l1s[peer].discard(addr)
         line = self.h.l2s[peer].invalidate(addr)
         if line is not None:
-            # The requester's copy now carries the latest data; the
-            # tracker just sees the block leave this L2.
-            self.h.loop_tracker.on_l2_evict(line.addr, line.dirty)
+            self.on_l2_drop(peer, addr)
+            # The requester's copy now carries the latest data; probes
+            # just see the block leave this L2.
+            self.h.note_l2_drop(line.addr, line.dirty)

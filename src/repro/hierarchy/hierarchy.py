@@ -1,12 +1,19 @@
 """The three-level cache hierarchy engine.
 
 :class:`CacheHierarchy` wires per-core L1/L2 caches, the shared LLC,
-the timing model, the always-on loop-block instrumentation, optional
-MOESI coherence, and one bound :class:`~repro.inclusion.base.
-InclusionPolicy`. It implements the mechanics every policy shares —
-L1⊆L2 inclusion within a core, write-back dirtiness propagation, L2
-victim extraction — and defers every L2↔LLC decision to the policy
-(the paper's Fig. 8 decision table).
+the timing model, optional MOESI coherence, and one bound
+:class:`~repro.inclusion.base.InclusionPolicy`. It implements only the
+*mechanics* every policy shares — L1⊆L2 inclusion within a core,
+write-back dirtiness propagation, L2 victim extraction — and defers
+every L2↔LLC decision to the policy (the paper's Fig. 8 decision
+table).
+
+Instrumentation is *not* mechanics: loop-block tracking, redundant-fill
+detection and occupancy sampling live in :mod:`repro.instr` as probes.
+The engine dispatches a fixed event vocabulary (see
+:data:`repro.instr.probe.PROBE_EVENTS`) to precompiled handler tuples;
+an empty tuple — a probe-free run — costs one attribute load and branch
+per event site, so uninstrumented sweeps pay nothing for observability.
 
 Level roles follow the paper's footnote 1: the L2 is non-inclusive with
 respect to the LLC by default; the studied inclusion property is the
@@ -16,14 +23,16 @@ and back-invalidation act at L2 granularity only.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, fields
-from typing import List, Optional, Set
+from dataclasses import dataclass, fields
+from typing import List, Optional, Sequence
 
 from ..cache import Cache, EvictedLine
 from ..cache.replacement import LRUPolicy
+from ..cache.stats import LoopBlockStats
 from ..core.loop_bits import LoopBlockTracker
 from ..errors import SimulationError
 from ..inclusion.base import InclusionPolicy
+from ..instr import LoopProbe, Probe, ProbeBus, make_probes
 from .config import HierarchyConfig
 from .coherence import CoherenceController
 from .timing import TimingModel
@@ -50,7 +59,14 @@ class HierarchyStats:
 
 
 class CacheHierarchy:
-    """Private L1/L2 per core + shared LLC under one inclusion policy."""
+    """Private L1/L2 per core + shared LLC under one inclusion policy.
+
+    ``probes`` selects the instrumentation: ``None`` builds the
+    legacy-equivalent default set (loop tracker, redundant-fill
+    detector, and — when ``occupancy_sample_interval`` is positive —
+    the occupancy sampler), an explicit sequence is used verbatim, and
+    an empty sequence runs with zero per-access instrumentation.
+    """
 
     def __init__(
         self,
@@ -58,6 +74,7 @@ class CacheHierarchy:
         policy: InclusionPolicy,
         enable_coherence: bool = False,
         occupancy_sample_interval: int = 0,
+        probes: Optional[Sequence[Probe]] = None,
     ) -> None:
         self.config = config
         self.policy = policy
@@ -97,13 +114,24 @@ class CacheHierarchy:
         )
         self.timing = TimingModel(config)
         self.stats = HierarchyStats()
-        self.loop_tracker = LoopBlockTracker()
         self.coherence: Optional[CoherenceController] = (
             CoherenceController(self) if enable_coherence else None
         )
-        self._fresh_fills: Set[int] = set()
-        self._occupancy_interval = occupancy_sample_interval
-        self._since_sample = 0
+        if probes is None:
+            probes = make_probes("default", occupancy_interval=occupancy_sample_interval)
+        self.probe_bus = ProbeBus(probes)
+        self.probe_bus.bind(self)
+        bus_handlers = self.probe_bus.handlers
+        self._on_access = bus_handlers("access")
+        self._on_l2_fill = bus_handlers("l2_fill")
+        self._on_l2_victim = bus_handlers("l2_victim")
+        self._on_llc_fill = bus_handlers("llc_fill")
+        self._on_llc_evict = bus_handlers("llc_evict")
+        self._on_demand_hit = bus_handlers("demand_hit")
+        self._on_dirtied = bus_handlers("dirtied")
+        self._on_clean_insert = bus_handlers("clean_insert")
+        self._on_dirty_victim = bus_handlers("dirty_victim")
+        self._on_occupancy_sample = bus_handlers("occupancy_sample")
         policy.bind(self)
 
     # ------------------------------------------------------------------
@@ -112,77 +140,88 @@ class CacheHierarchy:
     def access(self, core: int, addr: int, is_write: bool) -> None:
         """Process one memory reference from ``core``."""
         addr = self.llc.block_addr(int(addr))
-        self.stats.accesses += 1
+        stats = self.stats
+        stats.accesses += 1
         if is_write:
-            self.stats.stores += 1
+            stats.stores += 1
 
         l1 = self.l1s[core]
-        hit1 = l1.lookup(addr, is_write=is_write)
-        if hit1 is not None:
-            self.stats.l1_hits += 1
-            self.timing.l1_hit(core)
+        if l1.lookup(addr, is_write) is not None:
+            # L1 hits are pipelined: no timing charge.
+            stats.l1_hits += 1
             if is_write:
                 self._propagate_store(core, addr)
-            self._maybe_sample()
+            cbs = self._on_access
+            if cbs:
+                for cb in cbs:
+                    cb(core, addr, is_write)
             return
 
-        l2 = self.l2s[core]
-        hit2 = l2.lookup(addr, is_write=False)
-        if hit2 is not None:
-            self.stats.l2_hits += 1
+        if self.l2s[core].lookup(addr, False) is not None:
+            stats.l2_hits += 1
             self.timing.l2_hit(core)
-            self._fill_l1(core, addr, dirty=is_write)
+            l1.fill(addr, is_write)
             if is_write:
                 self._propagate_store(core, addr)
-            self._maybe_sample()
+            cbs = self._on_access
+            if cbs:
+                for cb in cbs:
+                    cb(core, addr, is_write)
             return
 
         # ---- L2 miss: the inclusion policy owns the LLC interaction.
-        self.stats.llc_demand_accesses += 1
+        stats.llc_demand_accesses += 1
         outcome = self.policy.llc_access(core, addr, is_write)
         if outcome.hit:
-            self.stats.llc_demand_hits += 1
+            stats.llc_demand_hits += 1
         supplied = False
         if self.coherence is not None:
             supplied = self.coherence.on_l2_miss(core, addr, is_write, outcome.hit)
         if not outcome.hit and not supplied:
-            self.stats.mem_reads += 1
+            stats.mem_reads += 1
             self.timing.memory_access(core)
 
         loop_bit = self.policy.l2_fill_loop_bit(outcome.hit)
         self._fill_l2(core, addr, loop_bit=loop_bit, is_write=is_write)
-        self.loop_tracker.on_l2_fill(addr, from_llc=outcome.hit)
-        self._fill_l1(core, addr, dirty=is_write)
+        cbs = self._on_l2_fill
+        if cbs:
+            for cb in cbs:
+                cb(addr, outcome.hit)
+        l1.fill(addr, is_write)
         if is_write:
             self._propagate_store(core, addr)
-        self._maybe_sample()
+        cbs = self._on_access
+        if cbs:
+            for cb in cbs:
+                cb(core, addr, is_write)
 
     # ------------------------------------------------------------------
     # fills and writebacks
     # ------------------------------------------------------------------
-    def _fill_l1(self, core: int, addr: int, dirty: bool) -> None:
-        """Fill the L1; victims need no writeback because dirtiness is
-        propagated to the L2 copy at store time (L1 ⊆ L2)."""
-        self.l1s[core].insert(addr, dirty=dirty)
-
     def _fill_l2(self, core: int, addr: int, loop_bit: bool, is_write: bool) -> None:
         l2 = self.l2s[core]
-        evicted = l2.insert(addr, dirty=False, loop_bit=loop_bit)
+        evicted = l2.insert(addr, False, loop_bit)
         if self.coherence is not None:
             block = l2.peek(addr)
             block.state = self.coherence.fill_state(core, addr, is_write)
+            self.coherence.on_l2_insert(core, addr)
         if evicted is not None:
             self._handle_l2_victim(core, evicted)
 
     def _handle_l2_victim(self, core: int, line: EvictedLine) -> None:
         # Enforce L1 ⊆ L2: kill the upper copy (its dirtiness already
         # lives in the L2 line thanks to store propagation).
-        self.l1s[core].invalidate(line.addr)
+        self.l1s[core].discard(line.addr)
+        if self.coherence is not None:
+            self.coherence.on_l2_drop(core, line.addr)
         if line.dirty:
             self.stats.l2_dirty_victims += 1
         else:
             self.stats.l2_clean_victims += 1
-        self.loop_tracker.on_l2_evict(line.addr, line.dirty)
+        cbs = self._on_l2_victim
+        if cbs:
+            for cb in cbs:
+                cb(line.addr, line.dirty)
         self.policy.l2_victim(core, line)
 
     def _propagate_store(self, core: int, addr: int) -> None:
@@ -202,7 +241,10 @@ class CacheHierarchy:
         block.dirty = True
         self.policy.on_l2_dirtied(block)
         if first_dirtying:
-            self.loop_tracker.on_dirtied(addr)
+            cbs = self._on_dirtied
+            if cbs:
+                for cb in cbs:
+                    cb(addr)
             if self.coherence is not None:
                 self.coherence.on_store(core, addr)
 
@@ -220,15 +262,12 @@ class CacheHierarchy:
         for actively shared lines: invalidating a line that other cores
         still read would force every subsequent reader through a snoop,
         so real exclusive LLCs keep shared lines resident (cf. Jaleel et
-        al., HPCA 2015). Multiprogrammed runs (no coherence) always
-        return False.
+        al., HPCA 2015). Answered in O(1) from the coherence
+        controller's sharers map. Multiprogrammed runs (no coherence)
+        always return False.
         """
-        if self.coherence is None:
-            return False
-        return any(
-            peer != core and self.l2s[peer].peek(addr) is not None
-            for peer in range(self.config.ncores)
-        )
+        coherence = self.coherence
+        return coherence is not None and coherence.peers_of(core, addr) != 0
 
     def on_llc_eviction(self, line: EvictedLine) -> None:
         """An LLC victim leaves the cache: write back dirty data and
@@ -236,60 +275,80 @@ class CacheHierarchy:
         if line.dirty:
             self.stats.mem_writes += 1
         self.note_llc_evict(line.addr)
-        if getattr(self.policy, "back_invalidates", False):
+        if self.policy.back_invalidates:
             self._back_invalidate(line.addr)
 
     def _back_invalidate(self, addr: int) -> None:
         for core in range(self.config.ncores):
-            self.l1s[core].invalidate(addr)
+            self.l1s[core].discard(addr)
             dropped = self.l2s[core].invalidate(addr)
             if dropped is not None:
-                self.loop_tracker.on_l2_evict(dropped.addr, dropped.dirty)
+                if self.coherence is not None:
+                    self.coherence.on_l2_drop(core, addr)
+                cbs = self._on_l2_victim
+                if cbs:
+                    for cb in cbs:
+                        cb(dropped.addr, dropped.dirty)
                 if dropped.dirty:
                     # The LLC copy is gone too; dirty data must reach
                     # memory directly.
                     self.stats.mem_writes += 1
 
+    # ---- probe event entry points used by policies & coherence -------
     def note_clean_insert(self, addr: int) -> None:
         """A clean victim's data was written into the LLC (Fig. 16's
         redundant loop-block re-insertions are counted here)."""
-        self.loop_tracker.on_clean_insert(addr)
+        for cb in self._on_clean_insert:
+            cb(addr)
 
-    # ---- redundant-fill instrumentation (Figs. 6 / 17) ---------------
     def note_fill(self, addr: int) -> None:
-        """An LLC data-fill just happened; it is 'fresh' until reused."""
-        self._fresh_fills.add(addr)
+        """An LLC data-fill just happened (Figs. 6 / 17 freshness)."""
+        for cb in self._on_llc_fill:
+            cb(addr)
 
     def note_demand_hit(self, addr: int) -> None:
-        """A demand hit consumed the fill — it was useful."""
-        self._fresh_fills.discard(addr)
+        """A demand hit consumed an LLC fill — it was useful."""
+        for cb in self._on_demand_hit:
+            cb(addr)
 
     def note_dirty_victim(self, addr: int) -> None:
-        """A dirty victim overwrote the LLC copy; a still-fresh fill of
-        the same line was redundant (Fig. 5's definition)."""
-        if addr in self._fresh_fills:
-            self.llc.stats.redundant_fills += 1
-            self._fresh_fills.discard(addr)
+        """A dirty victim overwrote the LLC copy (Fig. 5's redundant-
+        fill trigger)."""
+        for cb in self._on_dirty_victim:
+            cb(addr)
 
     def note_llc_evict(self, addr: int) -> None:
-        """The line left the LLC; forget its freshness."""
-        self._fresh_fills.discard(addr)
+        """The line left the LLC."""
+        for cb in self._on_llc_evict:
+            cb(addr)
+
+    def note_l2_drop(self, addr: int, dirty: bool) -> None:
+        """A peer invalidation dropped an L2 line (coherence flows)."""
+        for cb in self._on_l2_victim:
+            cb(addr, dirty)
+
+    def emit_occupancy_sample(self, valid: int, loops: int) -> None:
+        """Re-broadcast an occupancy sample to subscribing probes."""
+        for cb in self._on_occupancy_sample:
+            cb(valid, loops)
 
     # ------------------------------------------------------------------
-    # sampling / finalisation
+    # instrumentation access / finalisation
     # ------------------------------------------------------------------
-    def _maybe_sample(self) -> None:
-        if self._occupancy_interval <= 0:
-            return
-        self._since_sample += 1
-        if self._since_sample >= self._occupancy_interval:
-            self._since_sample = 0
-            valid, loops = self.llc.loop_block_occupancy()
-            self.loop_tracker.sample_llc_occupancy(valid, loops)
+    @property
+    def loop_tracker(self) -> Optional[LoopBlockTracker]:
+        """The loop-block tracker, when the loop probe is enabled."""
+        probe = self.probe_bus.find(LoopProbe)
+        return probe.tracker if probe is not None else None
+
+    def loop_stats(self) -> LoopBlockStats:
+        """Loop-block stats (empty when running without the loop probe)."""
+        tracker = self.loop_tracker
+        return tracker.stats if tracker is not None else LoopBlockStats()
 
     def finish(self) -> None:
         """End-of-run bookkeeping (flush CTC streaks, policy hooks)."""
-        self.loop_tracker.finalize()
+        self.probe_bus.finish()
         self.policy.end_of_run()
 
     # convenience -------------------------------------------------------

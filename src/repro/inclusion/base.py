@@ -52,10 +52,20 @@ class InclusionPolicy:
     fill_on_miss = False
     #: whether clean L2 victims are written to the LLC
     clean_writeback = False
+    #: whether LLC evictions back-invalidate the upper levels (strictly
+    #: inclusive policies). Part of the policy interface: the hierarchy
+    #: engine consults it on every LLC eviction.
+    back_invalidates: bool = False
 
     def __init__(self) -> None:
         self.h: "CacheHierarchy" | None = None
         self.llc: Cache | None = None
+        # Class-level override detection: policies that never choose a
+        # per-set replacement keep the fast path (no set_index slicing,
+        # no indirection) on every insert and LLC hit.
+        self._replacement_override = (
+            type(self).replacement_for is not InclusionPolicy.replacement_for
+        )
 
     # ------------------------------------------------------------------
     # lifecycle
@@ -66,8 +76,10 @@ class InclusionPolicy:
         self.llc = hierarchy.llc
         # Route hit-path recency/RRPV updates through the policy's
         # per-set replacement choice (set-dueling correctness for
-        # non-LRU baselines).
-        self.llc.touch_policy = self.replacement_for
+        # non-LRU baselines). Policies that never override the choice
+        # leave ``touch_policy`` unset so LLC hits skip the indirection.
+        if self._replacement_override:
+            self.llc.touch_policy = self.replacement_for
 
     # ------------------------------------------------------------------
     # decision points (overridden by concrete policies)
@@ -89,7 +101,7 @@ class InclusionPolicy:
 
     def on_l2_dirtied(self, block: CacheBlock) -> None:
         """An L2-resident block transitioned clean→dirty (store)."""
-        block.loop_bit = False
+        block.set_loop_bit(False)
 
     def replacement_for(self, set_index: int) -> Optional[ReplacementPolicy]:
         """Replacement policy for inserts into an LLC set.
@@ -113,16 +125,15 @@ class InclusionPolicy:
         LLC.
         """
         llc = self.llc
-        block = llc.lookup(addr, is_write=False)
-        set_index = llc.set_index(addr)
+        block = llc.lookup(addr, False)
         if block is None:
-            self._record_duel_miss(set_index)
+            self._record_duel_miss(addr)
             return None
         self.h.timing.llc_read(core, llc.bank_of(addr), block.tech)
         self.h.note_demand_hit(addr)
         return block
 
-    def _record_duel_miss(self, set_index: int) -> None:
+    def _record_duel_miss(self, addr: int) -> None:
         """Hook for dueling controllers; default: none."""
 
     def insert_or_update(
@@ -147,8 +158,8 @@ class InclusionPolicy:
         stats = llc.stats
         existing = llc.peek(addr)
         if existing is not None:
-            llc.update(existing, dirty=dirty)
-            existing.loop_bit = loop_bit
+            llc.update(existing, dirty)
+            existing.set_loop_bit(loop_bit)
             if dirty:
                 stats.update_writes += 1
                 self.h.note_dirty_victim(addr)
@@ -156,7 +167,7 @@ class InclusionPolicy:
                 stats.clean_victim_writes += 1
                 self.h.note_clean_insert(addr)
             self.h.charge_llc_write(core, addr, existing.tech)
-            self._record_duel_write(llc.set_index(addr))
+            self._record_duel_write(addr)
             return
         self._place_and_insert(core, addr, dirty=dirty, loop_bit=loop_bit, category=category)
 
@@ -171,11 +182,10 @@ class InclusionPolicy:
     ) -> None:
         """Insert a new line; hybrid-aware policies override placement."""
         llc = self.llc
-        set_index = llc.set_index(addr)
-        policy = self.replacement_for(set_index)
-        evicted = llc.insert(
-            addr, dirty=dirty, loop_bit=loop_bit, region=None, policy=policy
+        policy = (
+            self.replacement_for(llc.set_index(addr)) if self._replacement_override else None
         )
+        evicted = llc.insert(addr, dirty, loop_bit, None, policy)
         self._finish_insert(core, addr, evicted, dirty=dirty, category=category)
 
     def _finish_insert(
@@ -201,14 +211,19 @@ class InclusionPolicy:
             self.h.note_dirty_victim(addr)
         else:  # pragma: no cover - programming error
             raise ValueError(f"unknown LLC write category {category!r}")
-        inserted = llc.peek(addr)
-        tech = inserted.tech if inserted is not None else llc.tech
+        if llc.hybrid:
+            # Only hybrid LLCs vary technology per way; peek to find
+            # which region the line landed in.
+            inserted = llc.peek(addr)
+            tech = inserted.tech if inserted is not None else llc.tech
+        else:
+            tech = llc.tech
         self.h.charge_llc_write(core, addr, tech)
-        self._record_duel_write(llc.set_index(addr))
+        self._record_duel_write(addr)
         if evicted is not None:
             self.h.on_llc_eviction(evicted)
 
-    def _record_duel_write(self, set_index: int) -> None:
+    def _record_duel_write(self, addr: int) -> None:
         """Hook for write-aware dueling controllers; default: none."""
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid

@@ -61,11 +61,11 @@ class SwitchingPolicy(InclusionPolicy):
         """The follower sets' current mode (for tests/introspection)."""
         return self.dueling.winner
 
-    def _record_duel_miss(self, set_index: int) -> None:
-        self.dueling.record_miss(set_index)
+    def _record_duel_miss(self, addr: int) -> None:
+        self.dueling.record_miss(self.llc.set_index(addr))
 
-    def _record_duel_write(self, set_index: int) -> None:
-        self.dueling.record_write(set_index)
+    def _record_duel_write(self, addr: int) -> None:
+        self.dueling.record_write(self.llc.set_index(addr))
 
     # the switched data flow -------------------------------------------
     def llc_access(self, core: int, addr: int, is_write: bool) -> LLCAccess:
@@ -75,7 +75,7 @@ class SwitchingPolicy(InclusionPolicy):
         if block is not None:
             tech = block.tech
             if mode == MODE_EX and not self.h.shared_by_peers(core, addr):
-                self.llc.invalidate(addr)
+                self.llc.discard(addr)
                 self.llc.stats.hit_invalidations += 1
                 self.h.note_llc_evict(addr)
             return LLCAccess(hit=True, tech=tech)

@@ -63,7 +63,7 @@ class ExclusivePolicy(InclusionPolicy):
         # except for lines other cores still hold, which stay resident
         # so shared readers are not forced through snoops.
         if not self.h.shared_by_peers(core, addr):
-            self.llc.invalidate(addr)
+            self.llc.discard(addr)
             self.llc.stats.hit_invalidations += 1
             self.h.note_llc_evict(addr)
         return LLCAccess(hit=True, tech=tech)

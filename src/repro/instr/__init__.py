@@ -1,0 +1,32 @@
+"""Instrumentation probes: pluggable observers of hierarchy mechanics.
+
+The hierarchy engine dispatches a fixed vocabulary of events (see
+:data:`~repro.instr.probe.PROBE_EVENTS`) to a precompiled list of
+enabled probes; an empty probe list means the hot path pays only a
+truthiness check per event site. The paper's always-on instrumentation
+(loop tracking, redundant-fill detection, occupancy sampling) ships as
+the ``"default"`` probe set, and new instrumentation plugs in without
+touching the access path.
+"""
+
+from .probe import PROBE_EVENTS, Probe, ProbeBus
+from .probes import (
+    PROBE_FACTORIES,
+    LoopProbe,
+    OccupancySampler,
+    RedundantFillProbe,
+    make_probes,
+    probe_names,
+)
+
+__all__ = [
+    "PROBE_EVENTS",
+    "Probe",
+    "ProbeBus",
+    "LoopProbe",
+    "RedundantFillProbe",
+    "OccupancySampler",
+    "PROBE_FACTORIES",
+    "make_probes",
+    "probe_names",
+]

@@ -64,6 +64,12 @@ def run_one(
 ) -> RunResult:
     """Simulate one (policy, workload) pair on a fresh hierarchy.
 
+    The probe list (instrumentation) is derived from
+    ``system.instrumentation`` by the simulator — run a
+    ``system.probe_free()`` config for uninstrumented sweeps. The
+    field is part of the content-addressed cache key, so instrumented
+    and probe-free runs never alias in the result cache.
+
     If a process-wide result cache is active and the run is fully
     described by declarative values (a :class:`WorkloadSpec` builder, a
     policy *name*, no extra policy kwargs), the cache is consulted first

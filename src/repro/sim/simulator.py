@@ -11,12 +11,13 @@ are disjoint by construction, so every snoop would miss).
 
 from __future__ import annotations
 
-from typing import Optional, Union
+from typing import Optional, Sequence, Union
 
 from ..core.policies import make_policy
 from ..errors import SimulationError
 from ..hierarchy.hierarchy import CacheHierarchy
 from ..inclusion.base import InclusionPolicy
+from ..instr import Probe
 from ..workloads.mixes import MULTITHREADED, Workload
 from .results import RunResult
 from .system import SystemConfig
@@ -33,6 +34,7 @@ class Simulator:
         policy: Union[str, InclusionPolicy],
         workload: Workload,
         enable_coherence: Optional[bool] = None,
+        probes: Optional[Sequence[Probe]] = None,
         **policy_kwargs,
     ) -> None:
         if workload.ncores != system.hierarchy.ncores:
@@ -53,11 +55,16 @@ class Simulator:
         self.policy = policy
         if enable_coherence is None:
             enable_coherence = workload.kind == MULTITHREADED
+        # The probe list comes from the system config unless the caller
+        # supplies one explicitly (tests, custom instrumentation).
+        if probes is None:
+            probes = system.probes()
         self.hierarchy = CacheHierarchy(
             system.hierarchy,
             policy,
             enable_coherence=enable_coherence,
             occupancy_sample_interval=system.occupancy_sample_interval,
+            probes=probes,
         )
 
     def run(self, refs_per_core: int, batch: int = DEFAULT_BATCH) -> RunResult:
@@ -115,7 +122,7 @@ class Simulator:
             core_cycles=list(h.timing.core_cycles),
             llc=h.llc.stats,
             hier=h.stats,
-            loop=h.loop_tracker.stats,
+            loop=h.loop_stats(),
             energy=energy,
             coherence=h.coherence.stats if h.coherence else None,
         )

@@ -23,7 +23,15 @@ from ..workloads.synthetic import ScaleContext
 
 @dataclass(frozen=True)
 class SystemConfig:
-    """Everything needed to instantiate and meter one simulated system."""
+    """Everything needed to instantiate and meter one simulated system.
+
+    ``instrumentation`` selects the probe set the simulator attaches to
+    the hierarchy (see :func:`repro.instr.make_probes`): ``"default"``
+    is the paper's always-on instrumentation (loop tracker,
+    redundant-fill detector, occupancy sampler), ``"none"`` runs with
+    zero per-access instrumentation overhead, and a comma-separated
+    list of probe names selects exactly those probes.
+    """
 
     hierarchy: HierarchyConfig
     label: str = "system"
@@ -31,6 +39,7 @@ class SystemConfig:
     leakage_compensation: float = DEFAULT_LEAKAGE_COMPENSATION
     duel_interval: int = 4096
     occupancy_sample_interval: int = 2048
+    instrumentation: str = "default"
 
     # ------------------------------------------------------------------
     # stock configurations
@@ -85,6 +94,25 @@ class SystemConfig:
             self,
             hierarchy=self.hierarchy.with_llc(tech=tech),
             label=f"{self.label}@{tech.name}",
+        )
+
+    def probe_free(self) -> "SystemConfig":
+        """Same system with all instrumentation probes disabled.
+
+        Runs on the uninstrumented hot path: loop-block stats come back
+        empty and ``redundant_fills`` stays zero, but every mechanical
+        counter (hits, misses, write classes, energy inputs) is
+        unaffected. Use for large policy-comparison sweeps where only
+        the mechanical stats matter.
+        """
+        return replace(self, instrumentation="none")
+
+    def probes(self):
+        """The probe list implied by ``instrumentation`` (fresh instances)."""
+        from ..instr import make_probes
+
+        return make_probes(
+            self.instrumentation, occupancy_interval=self.occupancy_sample_interval
         )
 
     def scale_context(self) -> ScaleContext:

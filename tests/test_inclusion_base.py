@@ -2,7 +2,6 @@
 
 import pytest
 
-from repro.cache.replacement import LRUPolicy
 from repro.inclusion.base import InclusionPolicy, LLCAccess
 from tests.conftest import A, B, C, D, E, F, G, H, build_micro, run_refs
 
@@ -13,9 +12,14 @@ def reads(*addrs):
 
 class TestBindAndHooks:
     def test_bind_attaches_llc_and_touch_policy(self):
+        # Policies that never override the per-set replacement choice
+        # leave touch_policy unset (LLC hits skip the indirection) ...
         h = build_micro("non-inclusive")
         assert h.policy.llc is h.llc
-        assert h.llc.touch_policy == h.policy.replacement_for
+        assert h.llc.touch_policy is None
+        # ... while set-dueled policies route hit touches through it.
+        h2 = build_micro("lap")
+        assert h2.llc.touch_policy == h2.policy.replacement_for
 
     def test_base_policy_is_abstract(self):
         pol = InclusionPolicy()
