@@ -4,13 +4,19 @@
 PYTHON ?= python
 PYTHONPATH := src
 
-.PHONY: test bench lint
+.PHONY: test bench lint trace-demo
 
 test:
 	PYTHONPATH=$(PYTHONPATH) $(PYTHON) -m pytest -x -q
 
 bench:
 	cd benchmarks && PYTHONPATH=../$(PYTHONPATH) $(PYTHON) -m pytest -q --benchmark-only
+
+# Record + diff a tiny LAP-vs-non-inclusive pair with the flight
+# recorder (writes the trace_demo experiment artefact).
+trace-demo:
+	cd benchmarks && PYTHONPATH=../$(PYTHONPATH) $(PYTHON) -m pytest -q --benchmark-only test_trace_demo.py
+	@cat benchmarks/results/trace_demo.txt
 
 # `ruff` is an optional dependency (`pip install -e '.[lint]'`); the
 # target degrades to a notice where it is unavailable so `make lint`

@@ -1,10 +1,11 @@
 """Hot-path throughput microbenchmark (instrumented vs. probe-free).
 
-Measures raw simulator accesses/sec on the Fig. 14 policy grid twice —
-once with the default probe set (loop tracker + redundant-fill detector
-+ occupancy sampler) and once probe-free — and writes the record to
-``BENCH_hotpath.json`` at the repo root so future PRs can track the
-hot-path trajectory.
+Measures raw simulator accesses/sec on the Fig. 14 policy grid three
+ways — with the default probe set (loop tracker + redundant-fill
+detector + occupancy sampler), probe-free, and probe-free with the
+telemetry layer imported and a live metrics registry installed but
+nothing recording — and writes the record to ``BENCH_hotpath.json`` at
+the repo root so future PRs can track the hot-path trajectory.
 
 ``PRE_REFACTOR_BASELINE`` pins the accesses/sec measured at the growth
 seed (commit ad4a4f6, always-on instrumentation, same workload/refs/
@@ -61,8 +62,10 @@ def measure_grid() -> dict:
         "pre_refactor_accesses_per_sec": dict(PRE_REFACTOR_BASELINE),
         "instrumented_accesses_per_sec": {},
         "probe_free_accesses_per_sec": {},
+        "telemetry_idle_accesses_per_sec": {},
         "probe_free_vs_pre_refactor": {},
         "probe_free_vs_instrumented": {},
+        "telemetry_idle_vs_probe_free": {},
     }
     probe_free_system = system.probe_free()
     for policy in POLICIES:
@@ -76,6 +79,25 @@ def measure_grid() -> dict:
         record["probe_free_vs_instrumented"][policy] = round(
             probe_free / instrumented, 3
         )
+
+    # Telemetry-idle guard: with repro.telemetry fully imported and a
+    # live metrics registry installed — but no TraceProbe attached and
+    # nothing recording — the probe-free hot path must be unchanged.
+    # Metrics reporting is edge-triggered (once per run in finish()),
+    # so this measures that the telemetry layer stays off the per-access
+    # path entirely.
+    from repro.telemetry import MetricsRegistry, set_registry
+
+    previous = set_registry(MetricsRegistry())
+    try:
+        for policy in POLICIES:
+            idle = _throughput(probe_free_system, policy)
+            record["telemetry_idle_accesses_per_sec"][policy] = round(idle)
+            record["telemetry_idle_vs_probe_free"][policy] = round(
+                idle / record["probe_free_accesses_per_sec"][policy], 3
+            )
+    finally:
+        set_registry(previous)
     return record
 
 
@@ -102,3 +124,6 @@ def test_hotpath_throughput(benchmark, emit):
         assert record["probe_free_vs_instrumented"][policy] > 0.95, policy
     grid_ratio = sum(record["probe_free_vs_pre_refactor"].values()) / len(POLICIES)
     assert grid_ratio > 1.2
+    # Telemetry importable-but-disabled must not tax the hot path.
+    for policy in POLICIES:
+        assert record["telemetry_idle_vs_probe_free"][policy] > 0.9, policy

@@ -132,6 +132,12 @@ EXPERIMENT_INDEX: Sequence[ExperimentEntry] = (
                     "probe-free; the probe-bus refactor's >=1.5x uninstrumented "
                     "speedup is recorded in BENCH_hotpath.json.",
                     "hotpath_throughput"),
+    ExperimentEntry("Harness", "Trace diff: LAP vs non-inclusive (infrastructure)",
+                    "Flight-recorder evidence for the paper's write-count claims: "
+                    "on the same (workload, seed), LAP's event stream shows zero "
+                    "llc_fill events (no fill-on-miss writes) where non-inclusion "
+                    "pays one per LLC miss (`make trace-demo`).",
+                    "trace_demo"),
 )
 
 

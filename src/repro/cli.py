@@ -22,16 +22,23 @@ Commands
 ``sweep``
     Run a workloads x policies grid on one system and export CSV.
 ``cache``
-    Inspect (``stats``) or empty (``clear``) the result cache.
+    Inspect (``stats``, optionally ``--json``) or empty (``clear``)
+    the result cache.
+``trace``
+    The flight recorder: ``record`` a simulation's cache-event stream
+    to compressed JSONL, ``summarize`` a recording, or ``diff`` two
+    recordings (first divergence + per-event-type deltas).
 
 Every command accepts ``--refs``, ``--seed`` and system-shape flags so
 sweeps can be scripted from the shell; all output is plain ASCII.
 
-Two *global* options (they precede the subcommand) drive the execution
-engine: ``--jobs N`` fans grid commands out over N worker processes and
-``--cache-dir PATH`` memoises every spec-described simulation in a
-content-addressed on-disk cache (``$REPRO_CACHE_DIR`` is honoured when
-the flag is absent), e.g.::
+Three *global* options (they precede the subcommand) drive the
+execution engine and telemetry: ``--jobs N`` fans grid commands out
+over N worker processes, ``--cache-dir PATH`` memoises every
+spec-described simulation in a content-addressed on-disk cache
+(``$REPRO_CACHE_DIR`` is honoured when the flag is absent), and
+``--metrics PATH`` dumps the process metrics-registry snapshot to JSON
+after the command finishes, e.g.::
 
     python -m repro --jobs 4 --cache-dir ~/.repro-cache sweep --workloads WL2,WH1
 """
@@ -281,17 +288,21 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         refs_per_core=args.refs,
     )
     jobs = max(1, getattr(args, "jobs", 1))
+    cache = get_active_cache()
     print(
         f"running {sweep.size()} simulations "
         f"({'serial' if jobs == 1 else f'{jobs} workers'}"
-        f"{', cached' if get_active_cache() else ''}) ...",
+        f"{', cached' if cache else ''}) ...",
         file=sys.stderr,
     )
     records = sweep.run(
         progress=lambda r: print(f"  {r.workload} / {r.policy} done", file=sys.stderr),
         max_workers=jobs,
-        cache=get_active_cache(),
+        cache=cache,
+        heartbeat_interval=args.heartbeat if args.heartbeat > 0 else None,
     )
+    if cache is not None:
+        print(f"run manifest written to {cache.root / 'manifest.json'}", file=sys.stderr)
     text = records_to_csv(records, args.output)
     if args.output:
         print(f"CSV written to {args.output}")
@@ -312,11 +323,97 @@ def _cmd_cache(args: argparse.Namespace) -> int:
         print(f"removed {removed} cached result(s) from {cache.root}")
         return 0
     stats = cache.stats()
+    if getattr(args, "json", False):
+        print(json.dumps(
+            {"directory": str(cache.root), **stats.as_dict()}, indent=2, sort_keys=True
+        ))
+        return 0
     rows = [["directory", str(cache.root)]] + [
         [k, v] for k, v in stats.as_dict().items()
     ]
     print(render_table("result cache", ["field", "value"], rows))
     return 0
+
+
+# ----------------------------------------------------------------------
+# trace: the flight recorder
+# ----------------------------------------------------------------------
+def _cmd_trace_record(args: argparse.Namespace) -> int:
+    from .telemetry import record_simulation, summarize_trace
+
+    system = _system_from(args)
+    record_simulation(
+        args.out,
+        system,
+        args.policy,
+        args.workload,
+        refs_per_core=args.refs,
+        seed=args.seed,
+        events=args.events,
+    )
+    summary = summarize_trace(args.out)
+    print(
+        f"recorded {summary.total} event(s) from {args.workload} / "
+        f"{args.policy} to {args.out}"
+    )
+    return 0
+
+
+def _summary_rows(summary) -> list:
+    return [[name, count] for name, count in summary.by_event.items()]
+
+
+def _cmd_trace_summarize(args: argparse.Namespace) -> int:
+    from .telemetry import summarize_trace
+
+    summary = summarize_trace(args.path)
+    if args.json:
+        print(json.dumps(summary.as_dict(), indent=2, sort_keys=True))
+        return 0
+    meta = summary.meta
+    title = (
+        f"{args.path}: {meta.get('workload', '?')} / {meta.get('policy', '?')} "
+        f"({summary.total} events)"
+    )
+    print(render_table(title, ["event", "count"], _summary_rows(summary)))
+    return 0
+
+
+def _cmd_trace_diff(args: argparse.Namespace) -> int:
+    from .telemetry import diff_traces
+
+    diff = diff_traces(args.left, args.right)
+    if args.json:
+        print(json.dumps(diff.as_dict(), indent=2, sort_keys=True))
+        return 0
+    left_name = diff.left.meta.get("policy") or args.left
+    right_name = diff.right.meta.get("policy") or args.right
+    rows = [
+        [name, l, r, r - l]
+        for name, (l, r) in diff.counts.items()
+    ]
+    rows.append(["total", diff.left.total, diff.right.total,
+                 diff.right.total - diff.left.total])
+    print(render_table(
+        f"trace diff: {left_name} vs {right_name}",
+        ["event", left_name, right_name, "delta"],
+        rows,
+    ))
+    print()
+    if diff.identical:
+        print("streams are identical: zero divergence")
+    else:
+        print(f"first divergence at {diff.divergence.describe()}")
+    return 0
+
+
+def _cmd_trace(args: argparse.Namespace) -> int:
+    actions = {
+        "record": _cmd_trace_record,
+        "summarize": _cmd_trace_summarize,
+        "diff": _cmd_trace_diff,
+    }
+    return actions[args.action](args)
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -333,6 +430,11 @@ def build_parser() -> argparse.ArgumentParser:
         "--cache-dir", default=None, metavar="PATH",
         help="content-addressed result cache directory "
         "(default: $REPRO_CACHE_DIR when set, else no caching)",
+    )
+    parser.add_argument(
+        "--metrics", default=None, metavar="PATH",
+        help="write the process metrics-registry snapshot to PATH (JSON) "
+        "after the command finishes",
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
@@ -377,16 +479,48 @@ def build_parser() -> argparse.ArgumentParser:
                    help="comma-separated mixes/benchmarks (default: WL2,WH1)")
     p.add_argument("--policies", default="non-inclusive,exclusive,lap")
     p.add_argument("--output", default=None, help="CSV output path (default: stdout)")
+    p.add_argument("--heartbeat", type=float, default=10.0, metavar="SECONDS",
+                   help="progress-line interval for long sweeps "
+                   "(default: 10; 0 disables)")
     _add_system_args(p)
     p.set_defaults(fn=_cmd_sweep)
 
     p = sub.add_parser("cache", help="inspect or clear the result cache")
     p.add_argument("action", choices=("stats", "clear"))
+    p.add_argument("--json", action="store_true", help="machine-readable stats")
     # Convenience alias so `repro cache stats --cache-dir X` also works;
     # SUPPRESS keeps an omitted sub-level flag from clobbering the
     # global one.
     p.add_argument("--cache-dir", metavar="PATH", default=argparse.SUPPRESS)
     p.set_defaults(fn=_cmd_cache)
+
+    p = sub.add_parser(
+        "trace", help="record, summarize, or diff cache-event flight recordings"
+    )
+    trace_sub = p.add_subparsers(dest="action", required=True)
+
+    tp = trace_sub.add_parser("record", help="run one simulation with the "
+                              "flight recorder attached")
+    tp.add_argument("workload")
+    tp.add_argument("policy")
+    tp.add_argument("--out", required=True, metavar="PATH",
+                    help="trace output path (.gz compresses)")
+    tp.add_argument("--events", default=None, metavar="SPEC",
+                    help="comma-separated event/group filter "
+                    "(e.g. 'llc' or 'llc_fill,dirty_victim'; default: all)")
+    _add_system_args(tp)
+
+    tp = trace_sub.add_parser("summarize", help="per-event-type counts of one trace")
+    tp.add_argument("path")
+    tp.add_argument("--json", action="store_true", help="machine-readable output")
+
+    tp = trace_sub.add_parser("diff", help="first divergence and per-event-type "
+                              "deltas between two traces")
+    tp.add_argument("left")
+    tp.add_argument("right")
+    tp.add_argument("--json", action="store_true", help="machine-readable output")
+
+    p.set_defaults(fn=_cmd_trace)
 
     return parser
 
@@ -406,6 +540,15 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         finally:
             if cache is not None:
                 set_active_cache(previous)
+            if getattr(args, "metrics", None):
+                from .telemetry import get_registry
+
+                import pathlib
+
+                pathlib.Path(args.metrics).write_text(
+                    get_registry().snapshot_json() + "\n"
+                )
+                print(f"metrics snapshot written to {args.metrics}", file=sys.stderr)
     except ReproError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2

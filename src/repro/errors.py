@@ -45,3 +45,12 @@ class ExecutionError(ReproError):
     that survive the retry budget, per-job timeouts, and unusable result
     cache directories or entries.
     """
+
+
+class TelemetryError(ReproError):
+    """The observability layer failed (``repro.telemetry``).
+
+    Raised for unwritable or malformed trace files (bad header,
+    truncated stream, unknown event type), metric name/type collisions
+    in the registry, and unreadable run manifests.
+    """

@@ -19,7 +19,7 @@ from .cache import (
     set_active_cache,
 )
 from .jobs import CACHE_SCHEMA_VERSION, JobSpec, WorkloadSpec
-from .pool import execute_jobs
+from .pool import ExecutionOutcome, execute_jobs
 from .serialize import (
     result_from_dict,
     result_to_dict,
@@ -31,6 +31,7 @@ __all__ = [
     "CACHE_DIR_ENV",
     "CACHE_SCHEMA_VERSION",
     "DEFAULT_MAX_BYTES",
+    "ExecutionOutcome",
     "JobSpec",
     "ResultCache",
     "ResultCacheStats",

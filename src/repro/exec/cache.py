@@ -78,8 +78,19 @@ class ResultCache:
     def _path(self, key: str) -> pathlib.Path:
         return self.root / f"{key}.json"
 
+    @staticmethod
+    def _is_entry(path: pathlib.Path) -> bool:
+        """Only content-addressed files (64-hex stems) are cache entries.
+
+        The run manifest (``manifest.json``, see
+        :mod:`repro.telemetry.profiling`) and any other stray files in
+        the cache directory must never be counted, evicted, or cleared.
+        """
+        stem = path.stem
+        return len(stem) == 64 and all(c in "0123456789abcdef" for c in stem)
+
     def _entries(self):
-        return [p for p in self.root.glob("*.json") if p.is_file()]
+        return [p for p in self.root.glob("*.json") if p.is_file() and self._is_entry(p)]
 
     # ------------------------------------------------------------------
     def get(self, job: JobSpec) -> Optional[RunResult]:

@@ -6,6 +6,17 @@ out over a :class:`~concurrent.futures.ProcessPoolExecutor`, and returns
 results in the *input* order regardless of completion order, so parallel
 sweeps are record-for-record identical to serial ones.
 
+The return value is an :class:`ExecutionOutcome` — a list of
+:class:`RunResult` (so every existing caller keeps working) that also
+carries one :class:`~repro.telemetry.profiling.JobProfile` per job
+(wall time, throughput, retries, provenance, peak RSS) plus cache
+hit/miss totals, and can roll them up into a
+:class:`~repro.telemetry.profiling.RunManifest`. Pass ``manifest_dir``
+to have the manifest written as ``manifest.json`` (a sweep run with a
+cache does this automatically, next to the cached results), and
+``heartbeat_interval`` to get rate-limited progress lines on stderr
+during long sweeps.
+
 Failure policy: library errors (:class:`~repro.errors.ReproError`) are
 deterministic — a retry would fail identically — so they propagate
 unchanged. Anything else (a worker killed by the OS, a broken pool, a
@@ -20,27 +31,87 @@ byte-identical data to the cache path.
 from __future__ import annotations
 
 import concurrent.futures as cf
-from typing import Any, Dict, List, Optional, Sequence
+import pathlib
+import time
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple, Union
 
 from ..errors import ExecutionError, ReproError
 from ..sim.results import RunResult
+from ..telemetry.profiling import (
+    SOURCE_CACHE,
+    SOURCE_POOL,
+    SOURCE_SERIAL,
+    Heartbeat,
+    JobProfile,
+    RunManifest,
+    peak_rss_kb,
+)
 from .cache import ResultCache
 from .jobs import JobSpec
 from .serialize import result_from_dict, result_to_dict
 
 
+class ExecutionOutcome(List[RunResult]):
+    """Ordered results plus per-job execution telemetry.
+
+    Behaves exactly like the plain ``List[RunResult]`` this function
+    used to return; the telemetry rides along as attributes.
+    """
+
+    def __init__(
+        self,
+        results: Sequence[RunResult],
+        profiles: Sequence[JobProfile],
+        max_workers: int,
+        wall_s: float,
+    ) -> None:
+        super().__init__(results)
+        self.profiles: List[JobProfile] = list(profiles)
+        self.max_workers = max_workers
+        self.wall_s = wall_s
+
+    @property
+    def cache_hits(self) -> int:
+        return sum(1 for p in self.profiles if p.source == SOURCE_CACHE)
+
+    @property
+    def cache_misses(self) -> int:
+        return sum(1 for p in self.profiles if p.source != SOURCE_CACHE)
+
+    def manifest(self) -> RunManifest:
+        return RunManifest(
+            jobs=list(self.profiles), max_workers=self.max_workers, wall_s=self.wall_s
+        )
+
+    def write_manifest(self, target: Union[str, pathlib.Path]) -> pathlib.Path:
+        """Write ``manifest.json`` (``target`` may be a directory)."""
+        return self.manifest().write(target)
+
+
 def _run_job_dict(job: JobSpec) -> Dict[str, Any]:
-    """Worker entry point: run one job, return its serialised result."""
-    return result_to_dict(job.run())
+    """Worker entry point: run one job, return its serialised result
+    plus the worker-side profile facts (wall time, peak RSS)."""
+    start = time.perf_counter()
+    result = job.run()
+    return {
+        "result": result_to_dict(result),
+        "wall_s": time.perf_counter() - start,
+        "peak_rss_kb": peak_rss_kb(),
+    }
 
 
-def _run_with_retry(job: JobSpec, index: int, retries: int) -> RunResult:
-    """In-process execution with the same retry policy as the pool path."""
+def _run_with_retry(
+    job: JobSpec, index: int, retries: int
+) -> Tuple[RunResult, int]:
+    """In-process execution with the same retry policy as the pool path.
+
+    Returns ``(result, retries_used)``.
+    """
     attempts = retries + 1
     last: Optional[BaseException] = None
-    for _ in range(attempts):
+    for attempt in range(attempts):
         try:
-            return job.run()
+            return job.run(), attempt
         except ReproError:
             raise
         except Exception as exc:  # transient by assumption; retry once
@@ -51,13 +122,30 @@ def _run_with_retry(job: JobSpec, index: int, retries: int) -> RunResult:
     ) from last
 
 
+def _profile_for(
+    index: int, job: JobSpec, source: str, result: RunResult
+) -> JobProfile:
+    return JobProfile(
+        index=index,
+        key=job.key(),
+        workload=job.workload.label,
+        policy=job.policy,
+        system=job.system.label,
+        source=source,
+        accesses=result.hier.accesses,
+    )
+
+
 def execute_jobs(
     jobs: Sequence[JobSpec],
     max_workers: int = 1,
     cache: Optional[ResultCache] = None,
     timeout: Optional[float] = None,
     retries: int = 1,
-) -> List[RunResult]:
+    manifest_dir: Optional[Union[str, pathlib.Path]] = None,
+    heartbeat_interval: Optional[float] = None,
+    heartbeat_emit: Optional[Callable[[str], None]] = None,
+) -> ExecutionOutcome:
     """Execute ``jobs`` and return one :class:`RunResult` per job, in order.
 
     ``max_workers <= 1`` (or a pool that fails to start) runs serially
@@ -65,8 +153,12 @@ def execute_jobs(
     already stored and records fresh results on the way out. ``timeout``
     bounds each job's wall-clock wait in seconds (parallel path only —
     a serial job cannot be preempted). ``retries`` bounds re-execution
-    of transiently-failed jobs (default: one retry).
+    of transiently-failed jobs (default: one retry). ``manifest_dir``
+    writes the run manifest there (``manifest.json``);
+    ``heartbeat_interval`` emits progress lines at most that many
+    seconds apart (via ``heartbeat_emit``, default stderr).
     """
+    start = time.perf_counter()
     jobs = list(jobs)
     for i, job in enumerate(jobs):
         if not isinstance(job, JobSpec):
@@ -74,58 +166,122 @@ def execute_jobs(
     if retries < 0:
         raise ExecutionError(f"retries must be >= 0, got {retries}")
     results: List[Optional[RunResult]] = [None] * len(jobs)
+    profiles: List[Optional[JobProfile]] = [None] * len(jobs)
+    pulse = Heartbeat(len(jobs), heartbeat_interval, emit=heartbeat_emit)
 
     misses: List[int] = []
     if cache is not None:
         for i, job in enumerate(jobs):
+            lookup_start = time.perf_counter()
             hit = cache.get(job)
             if hit is not None:
                 results[i] = hit
+                profile = _profile_for(i, job, SOURCE_CACHE, hit)
+                profile.wall_s = time.perf_counter() - lookup_start
+                profiles[i] = profile
             else:
                 misses.append(i)
     else:
         misses = list(range(len(jobs)))
+    cached_count = len(jobs) - len(misses)
 
     if misses:
         if max_workers > 1 and len(misses) > 1:
-            _execute_pooled(jobs, misses, results, max_workers, timeout, retries)
+            _execute_pooled(
+                jobs, misses, results, profiles, max_workers, timeout, retries, pulse,
+                cached_count,
+            )
         else:
-            for i in misses:
-                results[i] = _run_with_retry(jobs[i], i, retries)
+            for n, i in enumerate(misses):
+                job_start = time.perf_counter()
+                results[i], used = _run_with_retry(jobs[i], i, retries)
+                profile = _profile_for(i, jobs[i], SOURCE_SERIAL, results[i])
+                profile.wall_s = time.perf_counter() - job_start
+                profile.retries = used
+                profile.peak_rss_kb = peak_rss_kb()
+                profiles[i] = profile
+                pulse.beat(cached_count + n + 1, cached_count)
         if cache is not None:
             for i in misses:
                 cache.put(jobs[i], results[i])
 
-    return results  # type: ignore[return-value]
+    wall_s = time.perf_counter() - start
+    outcome = ExecutionOutcome(
+        results,  # type: ignore[arg-type]
+        profiles,  # type: ignore[arg-type]
+        max_workers=max_workers,
+        wall_s=wall_s,
+    )
+    _report_metrics(outcome)
+    if jobs:
+        pulse.final(len(jobs), cached_count)
+    if manifest_dir is not None:
+        outcome.write_manifest(manifest_dir)
+    return outcome
+
+
+def _report_metrics(outcome: ExecutionOutcome) -> None:
+    """Pool roll-ups into the process metrics registry (once per batch)."""
+    from ..telemetry.metrics import get_registry
+
+    registry = get_registry()
+    registry.counter("exec.jobs").inc(len(outcome))
+    registry.counter("exec.cache_hits").inc(outcome.cache_hits)
+    registry.counter("exec.cache_misses").inc(outcome.cache_misses)
+    registry.counter("exec.retries").inc(sum(p.retries for p in outcome.profiles))
+    job_wall = registry.histogram("exec.job_wall_s")
+    for profile in outcome.profiles:
+        if profile.source != SOURCE_CACHE:
+            job_wall.observe(profile.wall_s)
 
 
 def _execute_pooled(
     jobs: Sequence[JobSpec],
     misses: Sequence[int],
     results: List[Optional[RunResult]],
+    profiles: List[Optional[JobProfile]],
     max_workers: int,
     timeout: Optional[float],
     retries: int,
+    pulse: Heartbeat,
+    cached_count: int,
 ) -> None:
-    """Fan ``misses`` out over a process pool, filling ``results`` in place."""
+    """Fan ``misses`` out over a process pool, filling ``results`` and
+    ``profiles`` in place."""
     workers = min(max_workers, len(misses))
     try:
         pool = cf.ProcessPoolExecutor(max_workers=workers)
     except (OSError, ValueError, RuntimeError):
         # Pool cannot start (sandboxed environment, missing semaphores,
         # spawn failure): degrade gracefully to serial execution.
-        for i in misses:
-            results[i] = _run_with_retry(jobs[i], i, retries)
+        for n, i in enumerate(misses):
+            job_start = time.perf_counter()
+            results[i], used = _run_with_retry(jobs[i], i, retries)
+            profile = _profile_for(i, jobs[i], SOURCE_SERIAL, results[i])
+            profile.wall_s = time.perf_counter() - job_start
+            profile.retries = used
+            profile.peak_rss_kb = peak_rss_kb()
+            profiles[i] = profile
+            pulse.beat(cached_count + n + 1, cached_count)
         return
 
     with pool:
         futures = {i: pool.submit(_run_job_dict, jobs[i]) for i in misses}
         retry_budget = {i: retries for i in misses}
         pending = list(misses)
+        done = 0
         while pending:
             i = pending.pop(0)
             try:
-                results[i] = result_from_dict(futures[i].result(timeout=timeout))
+                payload = _wait_with_heartbeat(
+                    futures[i], timeout, pulse, cached_count + done, cached_count
+                )
+                results[i] = result_from_dict(payload["result"])
+                profile = _profile_for(i, jobs[i], SOURCE_POOL, results[i])
+                profile.wall_s = payload.get("wall_s", 0.0)
+                profile.retries = retries - retry_budget[i]
+                profile.peak_rss_kb = payload.get("peak_rss_kb")
+                profiles[i] = profile
             except ReproError:
                 raise  # deterministic library failure: retrying is pointless
             except cf.TimeoutError:
@@ -140,9 +296,47 @@ def _execute_pooled(
                     # A crashed worker may have broken the whole pool;
                     # the retry runs in-process, which also covers
                     # unpicklable-job failures.
-                    results[i] = _run_with_retry(jobs[i], i, retries=0)
+                    job_start = time.perf_counter()
+                    results[i], _ = _run_with_retry(jobs[i], i, retries=0)
+                    profile = _profile_for(i, jobs[i], SOURCE_SERIAL, results[i])
+                    profile.wall_s = time.perf_counter() - job_start
+                    profile.retries = retries - retry_budget[i]
+                    profile.peak_rss_kb = peak_rss_kb()
+                    profiles[i] = profile
                 else:
                     raise ExecutionError(
                         f"job {i} ({jobs[i].workload.label} / {jobs[i].policy}) "
                         f"failed in worker: {exc}"
                     ) from exc
+            done += 1
+            pulse.beat(cached_count + done, cached_count)
+
+
+def _wait_with_heartbeat(
+    future: "cf.Future",
+    timeout: Optional[float],
+    pulse: Heartbeat,
+    done: int,
+    cached: int,
+) -> Dict[str, Any]:
+    """``future.result(timeout=...)`` that keeps the heartbeat alive.
+
+    Waits in slices no longer than the heartbeat interval so progress
+    lines keep flowing while a slow job blocks the ordered collection
+    loop; the per-job ``timeout`` semantics are unchanged (measured
+    from when collection reaches this job).
+    """
+    if pulse.interval is None or pulse.interval <= 0:
+        return future.result(timeout=timeout)
+    deadline = None if timeout is None else time.perf_counter() + timeout
+    while True:
+        remaining = None if deadline is None else deadline - time.perf_counter()
+        if remaining is not None and remaining <= 0:
+            raise cf.TimeoutError()
+        wait = pulse.interval if remaining is None else min(pulse.interval, remaining)
+        try:
+            return future.result(timeout=wait)
+        except cf.TimeoutError:
+            if deadline is not None and time.perf_counter() >= deadline:
+                raise
+            pulse.beat(done, cached)

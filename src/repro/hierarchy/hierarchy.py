@@ -119,9 +119,14 @@ class CacheHierarchy:
         )
         if probes is None:
             probes = make_probes("default", occupancy_interval=occupancy_sample_interval)
-        self.probe_bus = ProbeBus(probes)
-        self.probe_bus.bind(self)
-        bus_handlers = self.probe_bus.handlers
+        self._install_bus(ProbeBus(probes))
+        policy.bind(self)
+
+    def _install_bus(self, bus: ProbeBus) -> None:
+        """Bind ``bus`` and refresh the cached per-event handler tuples."""
+        self.probe_bus = bus
+        bus.bind(self)
+        bus_handlers = bus.handlers
         self._on_access = bus_handlers("access")
         self._on_l2_fill = bus_handlers("l2_fill")
         self._on_l2_victim = bus_handlers("l2_victim")
@@ -132,7 +137,16 @@ class CacheHierarchy:
         self._on_clean_insert = bus_handlers("clean_insert")
         self._on_dirty_victim = bus_handlers("dirty_victim")
         self._on_occupancy_sample = bus_handlers("occupancy_sample")
-        policy.bind(self)
+
+    def attach_probe(self, probe: Probe) -> None:
+        """Attach one more probe mid-run (e.g. a flight recorder).
+
+        The bus is recompiled and the cached handler tuples refreshed,
+        so the probe observes every event from this point on; events
+        before the attach are simply not seen (probes must tolerate
+        starting from an unknown state — the standard ones do).
+        """
+        self._install_bus(ProbeBus((*self.probe_bus.probes, probe)))
 
     # ------------------------------------------------------------------
     # the access path
@@ -347,9 +361,21 @@ class CacheHierarchy:
         return tracker.stats if tracker is not None else LoopBlockStats()
 
     def finish(self) -> None:
-        """End-of-run bookkeeping (flush CTC streaks, policy hooks)."""
+        """End-of-run bookkeeping (flush CTC streaks, policy hooks).
+
+        Also reports run totals into the process metrics registry —
+        once per run, never per access, so the hot path is unaffected.
+        """
         self.probe_bus.finish()
         self.policy.end_of_run()
+        from ..telemetry.metrics import get_registry
+
+        registry = get_registry()
+        registry.counter("hierarchy.runs").inc()
+        registry.counter("hierarchy.accesses").inc(self.stats.accesses)
+        registry.counter("hierarchy.llc_demand_accesses").inc(self.stats.llc_demand_accesses)
+        registry.counter("hierarchy.llc_writes").inc(self.llc.stats.llc_writes)
+        registry.counter("hierarchy.mem_writes").inc(self.stats.mem_writes)
 
     # convenience -------------------------------------------------------
     @property

@@ -122,7 +122,25 @@ class ProbeBus:
         self.recompile()
 
     def recompile(self) -> None:
-        """Rebuild the per-event handler tuples (after probe changes)."""
+        """Rebuild the per-event handler tuples (after probe changes).
+
+        A probe that overrides no ``on_*`` method would silently
+        subscribe to nothing — almost always a typo'd handler name
+        (``on_llc_evicted`` instead of ``on_llc_evict``) — so it is
+        rejected with a :class:`ValueError` naming the class instead of
+        being dropped on the floor.
+        """
+        for probe in self.probes:
+            if not any(
+                getattr(type(probe), f"on_{event}") is not getattr(Probe, f"on_{event}")
+                for event in PROBE_EVENTS
+            ):
+                raise ValueError(
+                    f"{type(probe).__name__} overrides no on_* handler, so it "
+                    f"would observe nothing; override at least one of "
+                    f"{', '.join('on_' + e for e in PROBE_EVENTS)} "
+                    f"(check for misspelled handler names)"
+                )
         self._compiled = {
             event: tuple(
                 getattr(probe, f"on_{event}")

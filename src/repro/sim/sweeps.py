@@ -93,6 +93,8 @@ class Sweep:
         progress: Optional[Callable[[SweepRecord], None]] = None,
         max_workers: int = 1,
         cache: Optional[ResultCache] = None,
+        manifest_dir: Optional[Union[str, pathlib.Path]] = None,
+        heartbeat_interval: Optional[float] = None,
     ) -> List[SweepRecord]:
         """Execute the grid; returns one record per run (stable order).
 
@@ -102,6 +104,12 @@ class Sweep:
         policies, insertion order), so downstream CSV/normalisation is
         oblivious to how the grid was executed. The default
         (``max_workers=1``, no cache) is the unchanged serial path.
+
+        Any engine-executed run (parallel, cached, or explicit
+        ``manifest_dir``) records per-job profiles; a run with a cache
+        writes the roll-up as ``manifest.json`` next to the cached
+        results (``manifest_dir`` overrides the location).
+        ``heartbeat_interval`` emits progress lines for long sweeps.
         """
         cells = [
             (sys_label, system, wl_label, builder, policy)
@@ -109,14 +117,20 @@ class Sweep:
             for wl_label, builder in self.workloads.items()
             for policy in self.policies
         ]
-        if max_workers <= 1 and cache is None:
+        if max_workers <= 1 and cache is None and manifest_dir is None:
             results = [
                 run_one(system, policy, builder, self.refs_per_core)
                 for _, system, _, builder, policy in cells
             ]
         else:
+            if manifest_dir is None and cache is not None:
+                manifest_dir = cache.root
             results = execute_jobs(
-                self._jobs(cells), max_workers=max_workers, cache=cache
+                self._jobs(cells),
+                max_workers=max_workers,
+                cache=cache,
+                manifest_dir=manifest_dir,
+                heartbeat_interval=heartbeat_interval,
             )
         records: List[SweepRecord] = []
         for (sys_label, _, wl_label, _, policy), result in zip(cells, results):

@@ -1,0 +1,199 @@
+"""Trace summaries and trace diffing.
+
+``repro trace diff`` turns "why does LAP save 31% of writes here?"
+into an inspectable answer: replay two recorded event streams (same
+workload and seed, different inclusion policies), find the first point
+where the streams diverge, and aggregate per-event-type count deltas —
+the redundant LLC fills non-inclusion pays, the clean-victim
+re-insertions exclusion pays, and so on, straight from the recorded
+evidence rather than from end-of-run counters alone.
+"""
+
+from __future__ import annotations
+
+import pathlib
+from dataclasses import dataclass, field
+from itertools import zip_longest
+from typing import Dict, Optional, Tuple, Union
+
+from .trace import PROBE_EVENTS, TraceReader
+
+PathLike = Union[str, pathlib.Path]
+
+
+# ----------------------------------------------------------------------
+# summaries
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class TraceSummary:
+    """Per-event-type counts plus the recording's identity metadata."""
+
+    path: str
+    meta: Dict
+    total: int
+    by_event: Dict[str, int]
+
+    def as_dict(self) -> Dict:
+        return {
+            "path": self.path,
+            "meta": dict(self.meta),
+            "total": self.total,
+            "by_event": dict(self.by_event),
+        }
+
+
+def summarize_trace(path: PathLike) -> TraceSummary:
+    """Count events per type in one pass (validates the whole file)."""
+    reader = TraceReader(path)
+    counts: Dict[str, int] = {}
+    total = 0
+    for event in reader:
+        name = type(event).__name__
+        counts[name] = counts.get(name, 0) + 1
+        total += 1
+    # Re-key from record class names back to event names, in bus order.
+    by_event = {}
+    for event_name in PROBE_EVENTS:
+        class_name = "".join(p.capitalize() for p in event_name.split("_")) + "Event"
+        if class_name in counts:
+            by_event[event_name] = counts[class_name]
+    return TraceSummary(
+        path=str(path), meta=reader.meta, total=total, by_event=by_event
+    )
+
+
+# ----------------------------------------------------------------------
+# diffing
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class Divergence:
+    """The first position where two event streams stop agreeing.
+
+    ``index`` is the 0-based position in the lockstep replay; ``left``/
+    ``right`` are the typed events at that position (``None`` when the
+    corresponding stream already ended — a pure length divergence).
+    """
+
+    index: int
+    left: Optional[tuple]
+    right: Optional[tuple]
+
+    def describe(self) -> str:
+        def show(event):
+            if event is None:
+                return "<stream ended>"
+            fields = ", ".join(
+                f"{name}={getattr(event, name)}" for name in event._fields if name != "seq"
+            )
+            return f"{type(event).__name__}({fields})"
+
+        return f"event #{self.index}: {show(self.left)} vs {show(self.right)}"
+
+
+@dataclass(frozen=True)
+class TraceDiff:
+    """Outcome of replaying two traces in lockstep."""
+
+    left: TraceSummary
+    right: TraceSummary
+    divergence: Optional[Divergence]
+    #: per-event-type (left count, right count) for every type present
+    #: in either trace, in bus order.
+    counts: Dict[str, Tuple[int, int]] = field(default_factory=dict)
+
+    @property
+    def identical(self) -> bool:
+        return self.divergence is None
+
+    def deltas(self) -> Dict[str, int]:
+        """right − left count per event type (what the policy changed)."""
+        return {name: r - l for name, (l, r) in self.counts.items()}
+
+    def as_dict(self) -> Dict:
+        return {
+            "left": self.left.as_dict(),
+            "right": self.right.as_dict(),
+            "identical": self.identical,
+            "divergence": None
+            if self.divergence is None
+            else {
+                "index": self.divergence.index,
+                "left": _event_dict(self.divergence.left),
+                "right": _event_dict(self.divergence.right),
+            },
+            "counts": {name: list(pair) for name, pair in self.counts.items()},
+            "deltas": self.deltas(),
+        }
+
+
+def _event_dict(event: Optional[tuple]) -> Optional[Dict]:
+    if event is None:
+        return None
+    return {"type": type(event).__name__, **event._asdict()}
+
+
+def _comparable(event: tuple) -> tuple:
+    """What lockstep comparison looks at: type + args, not seq.
+
+    Sequence numbers are recorder-local (they depend on the event
+    filter), so two traces of the same run recorded with different
+    filters still compare equal event-for-event.
+    """
+    return (type(event).__name__,) + tuple(event)[1:]
+
+
+def diff_traces(left_path: PathLike, right_path: PathLike) -> TraceDiff:
+    """Replay two traces in lockstep and report where and how they differ.
+
+    Identical streams produce ``identical=True`` with zero deltas. The
+    first mismatching event — or the first position where exactly one
+    stream has ended — is the :class:`Divergence`; counting always
+    continues to the end of both streams so the per-event-type deltas
+    describe the *whole* runs, not just the shared prefix.
+    """
+    left_reader = TraceReader(left_path)
+    right_reader = TraceReader(right_path)
+    divergence: Optional[Divergence] = None
+    left_counts: Dict[str, int] = {}
+    right_counts: Dict[str, int] = {}
+
+    for index, (l_event, r_event) in enumerate(
+        zip_longest(iter(left_reader), iter(right_reader))
+    ):
+        if l_event is not None:
+            name = type(l_event).__name__
+            left_counts[name] = left_counts.get(name, 0) + 1
+        if r_event is not None:
+            name = type(r_event).__name__
+            right_counts[name] = right_counts.get(name, 0) + 1
+        if divergence is None and (
+            l_event is None
+            or r_event is None
+            or _comparable(l_event) != _comparable(r_event)
+        ):
+            divergence = Divergence(index=index, left=l_event, right=r_event)
+
+    counts: Dict[str, Tuple[int, int]] = {}
+    for event_name in PROBE_EVENTS:
+        class_name = "".join(p.capitalize() for p in event_name.split("_")) + "Event"
+        l = left_counts.get(class_name, 0)
+        r = right_counts.get(class_name, 0)
+        if l or r:
+            counts[event_name] = (l, r)
+
+    return TraceDiff(
+        left=summary_from_counts(left_path, left_reader.meta, counts, side=0),
+        right=summary_from_counts(right_path, right_reader.meta, counts, side=1),
+        divergence=divergence,
+        counts=counts,
+    )
+
+
+def summary_from_counts(
+    path: PathLike, meta: Dict, counts: Dict[str, Tuple[int, int]], side: int
+) -> TraceSummary:
+    """Build one side's summary from already-aggregated lockstep counts."""
+    by_event = {name: pair[side] for name, pair in counts.items() if pair[side]}
+    return TraceSummary(
+        path=str(path), meta=meta, total=sum(by_event.values()), by_event=by_event
+    )

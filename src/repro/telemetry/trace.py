@@ -1,0 +1,427 @@
+"""The flight recorder: stream cache events to JSONL and read them back.
+
+:class:`TraceProbe` rides the :mod:`repro.instr` probe bus — it is just
+another probe, so recording changes *nothing* about simulation results
+— and appends every subscribed event to a compressed JSONL file with
+bounded in-memory buffering. :class:`TraceReader` is the other half: it
+validates the header, re-types every line into a named-tuple event
+record, and detects truncation via an explicit end-of-trace marker.
+
+File format (version :data:`TRACE_SCHEMA_VERSION`):
+
+- line 1 — header object: ``{"kind": "repro-trace", "schema": 1,
+  "events": [...], "meta": {...}}``;
+- one line per event — a compact array ``[seq, name, arg, ...]`` whose
+  arg order is the probe handler's signature (see
+  :data:`EVENT_FIELDS`);
+- last line — footer array ``["end", <event count>]``. A file without
+  it was cut off mid-write, and the reader says so instead of silently
+  yielding a prefix.
+
+Files whose first two bytes are the gzip magic are decompressed
+transparently; :class:`TraceProbe` compresses whenever the target path
+ends in ``.gz``.
+"""
+
+from __future__ import annotations
+
+import gzip
+import io
+import json
+import pathlib
+from collections import namedtuple
+from typing import Dict, Iterable, Iterator, Optional, Sequence, Tuple, Union
+
+from ..errors import TelemetryError
+from ..instr.probe import PROBE_EVENTS, Probe
+
+TRACE_SCHEMA_VERSION = 1
+TRACE_KIND = "repro-trace"
+_FOOTER_TAG = "end"
+_GZIP_MAGIC = b"\x1f\x8b"
+
+#: Positional argument names per event, in handler-signature order.
+#: This is the trace line layout *and* the typed record's fields.
+EVENT_FIELDS: Dict[str, Tuple[str, ...]] = {
+    "access": ("core", "addr", "is_write"),
+    "l2_fill": ("addr", "from_llc"),
+    "l2_victim": ("addr", "dirty"),
+    "llc_fill": ("addr",),
+    "llc_evict": ("addr",),
+    "demand_hit": ("addr",),
+    "dirtied": ("addr",),
+    "clean_insert": ("addr",),
+    "dirty_victim": ("addr",),
+    "occupancy_sample": ("valid", "loops"),
+}
+assert set(EVENT_FIELDS) == set(PROBE_EVENTS)
+
+#: Named event groups accepted wherever an event filter is taken:
+#: ``"llc"`` selects the LLC-write-relevant stream (the paper's unit of
+#: energy accounting), ``"l2"`` the upper-level traffic.
+EVENT_GROUPS: Dict[str, Tuple[str, ...]] = {
+    "all": tuple(PROBE_EVENTS),
+    "l2": ("l2_fill", "l2_victim", "dirtied"),
+    "llc": ("llc_fill", "llc_evict", "demand_hit", "clean_insert", "dirty_victim"),
+    "occupancy": ("occupancy_sample",),
+}
+
+
+def _camel(name: str) -> str:
+    return "".join(part.capitalize() for part in name.split("_"))
+
+
+#: Typed record classes, one per event: ``EVENT_TYPES["access"]`` is
+#: ``AccessEvent(seq, core, addr, is_write)``. Every record carries its
+#: global sequence number first so filtered traces keep ordering info.
+EVENT_TYPES: Dict[str, type] = {
+    name: namedtuple(f"{_camel(name)}Event", ("seq",) + fields)
+    for name, fields in EVENT_FIELDS.items()
+}
+
+
+def resolve_events(spec: Union[None, str, Iterable[str]]) -> Tuple[str, ...]:
+    """Normalise an event filter into a tuple of event names.
+
+    ``None`` (or ``"all"``) selects everything. A string may be a
+    comma-separated mix of event names and group names
+    (:data:`EVENT_GROUPS`); an iterable is treated the same way. Order
+    follows :data:`PROBE_EVENTS` regardless of spelling order, and
+    unknown names raise :class:`~repro.errors.TelemetryError`.
+    """
+    if spec is None:
+        return tuple(PROBE_EVENTS)
+    if isinstance(spec, str):
+        parts = [p.strip() for p in spec.split(",") if p.strip()]
+    else:
+        parts = [str(p).strip() for p in spec]
+    if not parts:
+        return tuple(PROBE_EVENTS)
+    chosen = set()
+    for part in parts:
+        if part in EVENT_GROUPS:
+            chosen.update(EVENT_GROUPS[part])
+        elif part in EVENT_FIELDS:
+            chosen.add(part)
+        else:
+            raise TelemetryError(
+                f"unknown trace event or group {part!r}; events: "
+                f"{sorted(EVENT_FIELDS)}, groups: {sorted(EVENT_GROUPS)}"
+            )
+    return tuple(e for e in PROBE_EVENTS if e in chosen)
+
+
+class TraceProbe(Probe):
+    """A probe that records its event stream to a JSONL trace file.
+
+    ``events`` filters what gets written (names/groups, see
+    :func:`resolve_events`); everything else still flows to the other
+    probes on the bus. ``buffer_events`` bounds the in-memory line
+    buffer — the recorder flushes to disk whenever the buffer fills, so
+    memory use is O(buffer), not O(run length). The file is finalised
+    (footer + close) by :meth:`finish`, which the hierarchy calls at
+    end-of-run; use the probe as a context manager when driving a
+    hierarchy by hand.
+    """
+
+    name = "trace"
+
+    def __init__(
+        self,
+        path: Union[str, pathlib.Path],
+        events: Union[None, str, Iterable[str]] = None,
+        buffer_events: int = 4096,
+        meta: Optional[Dict] = None,
+    ) -> None:
+        if buffer_events <= 0:
+            raise TelemetryError(
+                f"TraceProbe buffer_events must be positive, got {buffer_events}"
+            )
+        self.path = pathlib.Path(path)
+        self.events = resolve_events(events)
+        self._enabled = frozenset(self.events)
+        self._buffer_events = buffer_events
+        self._buffer: list[str] = []
+        self._seq = 0
+        self._written = 0
+        self._fh: Optional[io.TextIOBase] = None
+        header = {
+            "kind": TRACE_KIND,
+            "schema": TRACE_SCHEMA_VERSION,
+            "events": list(self.events),
+            "meta": dict(meta or {}),
+        }
+        try:
+            if self.path.suffix == ".gz":
+                self._fh = gzip.open(self.path, "wt", encoding="utf-8")
+            else:
+                self._fh = self.path.open("w", encoding="utf-8")
+            self._fh.write(json.dumps(header, sort_keys=True) + "\n")
+        except OSError as exc:
+            raise TelemetryError(f"cannot open trace file {self.path}: {exc}") from None
+
+    # ------------------------------------------------------------------
+    # recording
+    # ------------------------------------------------------------------
+    def _record(self, event: str, args: tuple) -> None:
+        self._buffer.append(json.dumps([self._seq, event, *args]))
+        self._seq += 1
+        if len(self._buffer) >= self._buffer_events:
+            self.flush()
+
+    # One tiny handler per event: the bus only compiles the ones below,
+    # and each pays a frozenset membership test before buffering.
+    def on_access(self, core: int, addr: int, is_write: bool) -> None:
+        if "access" in self._enabled:
+            self._record("access", (core, addr, bool(is_write)))
+
+    def on_l2_fill(self, addr: int, from_llc: bool) -> None:
+        if "l2_fill" in self._enabled:
+            self._record("l2_fill", (addr, bool(from_llc)))
+
+    def on_l2_victim(self, addr: int, dirty: bool) -> None:
+        if "l2_victim" in self._enabled:
+            self._record("l2_victim", (addr, bool(dirty)))
+
+    def on_llc_fill(self, addr: int) -> None:
+        if "llc_fill" in self._enabled:
+            self._record("llc_fill", (addr,))
+
+    def on_llc_evict(self, addr: int) -> None:
+        if "llc_evict" in self._enabled:
+            self._record("llc_evict", (addr,))
+
+    def on_demand_hit(self, addr: int) -> None:
+        if "demand_hit" in self._enabled:
+            self._record("demand_hit", (addr,))
+
+    def on_dirtied(self, addr: int) -> None:
+        if "dirtied" in self._enabled:
+            self._record("dirtied", (addr,))
+
+    def on_clean_insert(self, addr: int) -> None:
+        if "clean_insert" in self._enabled:
+            self._record("clean_insert", (addr,))
+
+    def on_dirty_victim(self, addr: int) -> None:
+        if "dirty_victim" in self._enabled:
+            self._record("dirty_victim", (addr,))
+
+    def on_occupancy_sample(self, valid: int, loops: int) -> None:
+        if "occupancy_sample" in self._enabled:
+            self._record("occupancy_sample", (valid, loops))
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    @property
+    def recorded(self) -> int:
+        """Events recorded so far (buffered + written)."""
+        return self._seq
+
+    def flush(self) -> None:
+        if self._fh is None or not self._buffer:
+            self._buffer.clear()
+            return
+        try:
+            self._fh.write("\n".join(self._buffer) + "\n")
+            self._fh.flush()
+        except OSError as exc:
+            raise TelemetryError(f"cannot write trace file {self.path}: {exc}") from None
+        self._written += len(self._buffer)
+        self._buffer.clear()
+
+    def finish(self) -> None:
+        """Flush, write the end-of-trace footer, and close the file."""
+        if self._fh is None:
+            return
+        self.flush()
+        try:
+            self._fh.write(json.dumps([_FOOTER_TAG, self._written]) + "\n")
+            self._fh.close()
+        except OSError as exc:
+            raise TelemetryError(f"cannot finalise trace file {self.path}: {exc}") from None
+        finally:
+            self._fh = None
+
+    close = finish
+
+    def __enter__(self) -> "TraceProbe":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.finish()
+
+
+# ----------------------------------------------------------------------
+# reading
+# ----------------------------------------------------------------------
+class TraceReader:
+    """Validated, typed iteration over one recorded trace file.
+
+    The header is parsed eagerly (so ``reader.header`` / ``.meta`` are
+    available before iteration); events stream lazily, each re-typed to
+    its :data:`EVENT_TYPES` record. Malformed lines, unknown event
+    types, schema mismatches and truncation (missing or short footer)
+    all raise :class:`~repro.errors.TelemetryError` naming the file and
+    line.
+    """
+
+    def __init__(self, path: Union[str, pathlib.Path]) -> None:
+        self.path = pathlib.Path(path)
+        if not self.path.exists():
+            raise TelemetryError(f"no such trace file: {self.path}")
+        self.header = self._read_header()
+        self.meta: Dict = self.header.get("meta", {})
+        self.events: Tuple[str, ...] = tuple(self.header.get("events", PROBE_EVENTS))
+
+    def _open(self):
+        try:
+            with self.path.open("rb") as probe_fh:
+                magic = probe_fh.read(2)
+            if magic == _GZIP_MAGIC:
+                return gzip.open(self.path, "rt", encoding="utf-8")
+            return self.path.open("r", encoding="utf-8")
+        except OSError as exc:
+            raise TelemetryError(f"cannot open trace file {self.path}: {exc}") from None
+
+    def _read_header(self) -> Dict:
+        with self._open() as fh:
+            try:
+                first = fh.readline()
+            except (OSError, EOFError) as exc:
+                raise TelemetryError(
+                    f"{self.path}: unreadable trace header: {exc}"
+                ) from None
+            try:
+                header = json.loads(first)
+            except json.JSONDecodeError:
+                raise TelemetryError(
+                    f"{self.path}: first line is not a JSON trace header"
+                ) from None
+        if not isinstance(header, dict) or header.get("kind") != TRACE_KIND:
+            raise TelemetryError(
+                f"{self.path}: not a {TRACE_KIND} file (header kind: "
+                f"{header.get('kind') if isinstance(header, dict) else type(header).__name__})"
+            )
+        if header.get("schema") != TRACE_SCHEMA_VERSION:
+            raise TelemetryError(
+                f"{self.path}: trace schema {header.get('schema')!r} is not "
+                f"the supported version {TRACE_SCHEMA_VERSION}"
+            )
+        return header
+
+    def __iter__(self) -> Iterator[tuple]:
+        count = 0
+        footer_seen = False
+        with self._open() as fh:
+            lines = iter(fh)
+            next(lines)  # header, validated in __init__
+            lineno = 1
+            try:
+                for line in lines:
+                    lineno += 1
+                    line = line.strip()
+                    if not line:
+                        continue
+                    record = self._parse(line, lineno)
+                    if record is None:  # footer
+                        footer_seen = True
+                        declared = self._footer_count(line, lineno)
+                        if declared != count:
+                            raise TelemetryError(
+                                f"{self.path}: footer declares {declared} events "
+                                f"but {count} were read — file is corrupt"
+                            )
+                        break
+                    count += 1
+                    yield record
+            except EOFError:
+                # gzip stream cut off mid-member
+                raise TelemetryError(
+                    f"{self.path}: compressed trace is truncated after "
+                    f"{count} event(s)"
+                ) from None
+        if not footer_seen:
+            raise TelemetryError(
+                f"{self.path}: trace is truncated — no end-of-trace marker "
+                f"after {count} event(s) (was the recording interrupted?)"
+            )
+
+    def _parse(self, line: str, lineno: int) -> Optional[tuple]:
+        try:
+            raw = json.loads(line)
+        except json.JSONDecodeError:
+            raise TelemetryError(
+                f"{self.path}:{lineno}: malformed trace line (truncated write?)"
+            ) from None
+        if not isinstance(raw, list) or len(raw) < 2:
+            raise TelemetryError(
+                f"{self.path}:{lineno}: trace lines must be [seq, event, args...]"
+            )
+        if raw[0] == _FOOTER_TAG:
+            return None
+        seq, event = raw[0], raw[1]
+        event_type = EVENT_TYPES.get(event)
+        if event_type is None:
+            raise TelemetryError(
+                f"{self.path}:{lineno}: unknown event type {event!r}; this "
+                f"reader knows {sorted(EVENT_TYPES)} (newer trace format?)"
+            )
+        args = raw[2:]
+        if len(args) != len(EVENT_FIELDS[event]):
+            raise TelemetryError(
+                f"{self.path}:{lineno}: event {event!r} carries {len(args)} "
+                f"arg(s), expected {len(EVENT_FIELDS[event])} "
+                f"({', '.join(EVENT_FIELDS[event])})"
+            )
+        return event_type(seq, *args)
+
+    def _footer_count(self, line: str, lineno: int) -> int:
+        raw = json.loads(line)
+        if len(raw) != 2 or not isinstance(raw[1], int):
+            raise TelemetryError(f"{self.path}:{lineno}: malformed trace footer")
+        return raw[1]
+
+
+def read_events(path: Union[str, pathlib.Path]) -> list:
+    """Materialise every typed event of a trace (small traces, tests)."""
+    return list(TraceReader(path))
+
+
+def record_simulation(
+    path: Union[str, pathlib.Path],
+    system,
+    policy: str,
+    workload_name: str,
+    refs_per_core: int,
+    seed: int = 0,
+    events: Union[None, str, Sequence[str]] = None,
+):
+    """Run one (workload, policy) simulation with a flight recorder attached.
+
+    The trace rides *alongside* the system's configured instrumentation
+    (default probes included), so the recorded run's results are
+    bit-identical to an unrecorded one. Returns the
+    :class:`~repro.sim.results.RunResult`; the finished trace is at
+    ``path``.
+    """
+    from .. import make_workload, simulate
+
+    workload = make_workload(workload_name, system, seed=seed)
+    probe = TraceProbe(
+        path,
+        events=events,
+        meta={
+            "workload": workload_name,
+            "policy": policy,
+            "system": system.label,
+            "refs_per_core": refs_per_core,
+            "seed": seed,
+        },
+    )
+    probes = list(system.probes()) + [probe]
+    try:
+        return simulate(system, policy, workload, refs_per_core=refs_per_core, probes=probes)
+    finally:
+        probe.finish()  # no-op when the hierarchy already finalised it

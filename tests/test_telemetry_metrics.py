@@ -1,0 +1,185 @@
+"""Tests for the metrics registry (repro.telemetry.metrics)."""
+
+import json
+
+import pytest
+
+from repro.errors import TelemetryError
+from repro.telemetry.metrics import (
+    BUCKET_BOUNDS,
+    BUCKET_LABELS,
+    OVERFLOW_LABEL,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    get_registry,
+    set_registry,
+)
+
+
+@pytest.fixture
+def registry():
+    """A fresh registry installed as the process default, restored after."""
+    fresh = MetricsRegistry()
+    previous = set_registry(fresh)
+    yield fresh
+    set_registry(previous)
+
+
+class TestCounter:
+    def test_starts_at_zero_and_increments(self):
+        c = Counter("jobs")
+        assert c.value == 0
+        c.inc()
+        c.inc(4)
+        assert c.value == 5
+
+    def test_rejects_negative_increment(self):
+        c = Counter("jobs")
+        with pytest.raises(TelemetryError, match="jobs"):
+            c.inc(-1)
+        assert c.value == 0
+
+
+class TestGauge:
+    def test_set_and_add(self):
+        g = Gauge("depth")
+        g.set(3)
+        g.add(-1.5)
+        assert g.value == 1.5
+
+
+class TestHistogram:
+    def test_tracks_count_sum_min_max_mean(self):
+        h = Histogram("wall_s")
+        for v in (1.0, 3.0, 2.0):
+            h.observe(v)
+        assert h.count == 3
+        assert h.total == 6.0
+        assert h.min == 1.0 and h.max == 3.0
+        assert h.mean == 2.0
+
+    def test_empty_mean_is_zero(self):
+        assert Histogram("x").mean == 0.0
+
+    def test_bucket_labels_are_fixed_log_ladder(self):
+        # The ladder is a module constant: the same observation always
+        # lands in the same named bucket, on any machine, at any time.
+        h = Histogram("x")
+        h.observe(0.0015)  # first bound >= 0.0015 is 2e-3
+        h.observe(0.0015)
+        h.observe(7_000_000)  # first bound >= 7e6 is 1e7
+        assert h.buckets() == {"2e-03": 2, "1e+07": 1}
+
+    def test_overflow_bucket(self):
+        h = Histogram("x")
+        h.observe(1e12)  # beyond the 1e9 top of the ladder
+        assert h.buckets() == {OVERFLOW_LABEL: 1}
+
+    def test_buckets_in_ladder_order(self):
+        h = Histogram("x")
+        for v in (5e8, 1e-9, 42, 1e15):
+            h.observe(v)
+        labels = list(h.buckets())
+        ladder_positions = [BUCKET_LABELS.index(lb) for lb in labels[:-1]]
+        assert ladder_positions == sorted(ladder_positions)
+        assert labels[-1] == OVERFLOW_LABEL
+
+    def test_rejects_negative_and_nan(self):
+        h = Histogram("x")
+        with pytest.raises(TelemetryError):
+            h.observe(-0.1)
+        with pytest.raises(TelemetryError):
+            h.observe(float("nan"))
+
+    def test_bounds_are_sorted_and_wide(self):
+        assert list(BUCKET_BOUNDS) == sorted(BUCKET_BOUNDS)
+        assert BUCKET_BOUNDS[0] == 1e-9 and BUCKET_BOUNDS[-1] == 5e9
+
+
+class TestRegistry:
+    def test_get_or_create_returns_same_instrument(self):
+        r = MetricsRegistry()
+        assert r.counter("a") is r.counter("a")
+        assert r.histogram("h") is r.histogram("h")
+        assert len(r) == 2
+
+    def test_kind_mismatch_raises(self):
+        r = MetricsRegistry()
+        r.counter("a")
+        with pytest.raises(TelemetryError, match="Counter"):
+            r.gauge("a")
+        with pytest.raises(TelemetryError, match="Counter"):
+            r.histogram("a")
+
+    def test_rejects_bad_names(self):
+        r = MetricsRegistry()
+        with pytest.raises(TelemetryError):
+            r.counter("")
+        with pytest.raises(TelemetryError):
+            r.counter(None)
+
+    def test_reset_drops_everything(self):
+        r = MetricsRegistry()
+        r.counter("a").inc()
+        r.reset()
+        assert len(r) == 0
+        assert r.counter("a").value == 0
+
+    def test_snapshot_groups_by_kind(self):
+        r = MetricsRegistry()
+        r.counter("jobs").inc(2)
+        r.gauge("depth").set(1.5)
+        r.histogram("wall").observe(0.5)
+        snap = r.snapshot()
+        assert snap["counters"] == {"jobs": 2}
+        assert snap["gauges"] == {"depth": 1.5}
+        assert snap["histograms"]["wall"]["count"] == 1
+        assert snap["histograms"]["wall"]["buckets"] == {"5e-01": 1}
+
+    def test_snapshot_json_round_trips(self):
+        r = MetricsRegistry()
+        r.counter("jobs").inc()
+        assert json.loads(r.snapshot_json()) == r.snapshot()
+
+    def test_set_registry_swaps_default(self):
+        fresh = MetricsRegistry()
+        previous = set_registry(fresh)
+        try:
+            assert get_registry() is fresh
+        finally:
+            set_registry(previous)
+        assert get_registry() is previous
+
+    def test_set_registry_type_checked(self):
+        with pytest.raises(TelemetryError):
+            set_registry("not a registry")
+
+
+class TestBuiltinReporting:
+    """The simulator and hierarchy report into the default registry."""
+
+    def test_simulate_reports_run_and_access_counters(self, registry, small_system):
+        from repro import make_workload, simulate
+
+        workload = make_workload("mcf", small_system, seed=1)
+        result = simulate(small_system, "lap", workload, refs_per_core=300)
+        snap = registry.snapshot()
+        assert snap["counters"]["sim.runs"] == 1
+        assert snap["counters"]["sim.accesses"] == result.hier.accesses
+        assert snap["counters"]["hierarchy.runs"] == 1
+        assert snap["counters"]["hierarchy.accesses"] == result.hier.accesses
+        assert snap["histograms"]["sim.wall_s"]["count"] == 1
+        assert snap["histograms"]["sim.accesses_per_s"]["count"] == 1
+
+    def test_reporting_is_edge_triggered(self, registry, small_system):
+        # Two runs -> exactly two observations, not one per access.
+        from repro import make_workload, simulate
+
+        for seed in (1, 2):
+            workload = make_workload("mcf", small_system, seed=seed)
+            simulate(small_system, "lap", workload, refs_per_core=200)
+        snap = registry.snapshot()
+        assert snap["counters"]["sim.runs"] == 2
+        assert snap["histograms"]["sim.wall_s"]["count"] == 2
