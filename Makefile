@@ -4,10 +4,15 @@
 PYTHON ?= python
 PYTHONPATH := src
 
-.PHONY: test bench lint trace-demo
+.PHONY: test check bench lint trace-demo
 
 test:
 	PYTHONPATH=$(PYTHONPATH) $(PYTHON) -m pytest -x -q
+
+# Invariant checks over every policy (DESIGN.md §11) plus 200 rounds of
+# seeded trace fuzzing — deterministic, ~3s.
+check:
+	PYTHONPATH=$(PYTHONPATH) $(PYTHON) -m repro check --fuzz 200
 
 bench:
 	cd benchmarks && PYTHONPATH=../$(PYTHONPATH) $(PYTHON) -m pytest -q --benchmark-only

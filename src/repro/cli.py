@@ -28,6 +28,10 @@ Commands
     The flight recorder: ``record`` a simulation's cache-event stream
     to compressed JSONL, ``summarize`` a recording, or ``diff`` two
     recordings (first divergence + per-event-type deltas).
+``check``
+    Machine-check the simulator's per-policy invariants
+    (``repro.validate``): deterministic invariant + differential
+    stages, plus ``--fuzz N`` randomized cases with failure shrinking.
 
 Every command accepts ``--refs``, ``--seed`` and system-shape flags so
 sweeps can be scripted from the shell; all output is plain ASCII.
@@ -407,6 +411,41 @@ def _cmd_trace_diff(args: argparse.Namespace) -> int:
     return 0
 
 
+# ----------------------------------------------------------------------
+# check: the invariant-validation suite
+# ----------------------------------------------------------------------
+def _cmd_check(args: argparse.Namespace) -> int:
+    from .validate import DEFAULT_POLICIES, run_checks
+
+    policies = tuple(args.policy) if args.policy else DEFAULT_POLICIES
+    report = run_checks(
+        policies,
+        fuzz_rounds=args.fuzz,
+        refs=args.refs,
+        seed=args.seed,
+        coherence=args.coherence,
+        interval=args.interval,
+        progress=(None if args.quiet else lambda m: print(f"  {m}", file=sys.stderr)),
+    )
+    print(render_table(
+        f"invariant checks ({len(policies)} policies, coherence={args.coherence}"
+        + (f", fuzz={args.fuzz}" if args.fuzz else "")
+        + ")",
+        ["check", "status", "detail"],
+        report.as_rows(),
+    ))
+    if report.ok:
+        print(f"\nall {len(report.entries)} check(s) passed")
+        return 0
+    print(f"\n{len(report.failures)} check(s) FAILED:", file=sys.stderr)
+    for entry in report.failures:
+        print(f"  {entry.name}: {entry.detail}", file=sys.stderr)
+    for failure in report.fuzz_failures:
+        print(f"\nreproduction for {failure.case.describe()}:", file=sys.stderr)
+        print(failure.repro_snippet(), file=sys.stderr)
+    return 1
+
+
 def _cmd_trace(args: argparse.Namespace) -> int:
     actions = {
         "record": _cmd_trace_record,
@@ -493,6 +532,27 @@ def build_parser() -> argparse.ArgumentParser:
     # global one.
     p.add_argument("--cache-dir", metavar="PATH", default=argparse.SUPPRESS)
     p.set_defaults(fn=_cmd_cache)
+
+    p = sub.add_parser(
+        "check",
+        help="machine-check simulation invariants (optionally fuzzing)",
+    )
+    p.add_argument("--policy", action="append", default=None, metavar="NAME",
+                   help="policy to check (repeatable; default: the seven "
+                   "evaluated policies)")
+    p.add_argument("--fuzz", type=int, default=0, metavar="N",
+                   help="also run N randomized fuzz cases with shrinking "
+                   "(default: 0 = deterministic stages only)")
+    p.add_argument("--refs", type=int, default=2000,
+                   help="references per deterministic check run (default: 2000)")
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--coherence", choices=("both", "on", "off"), default="both",
+                   help="which coherence modes to exercise (default: both)")
+    p.add_argument("--interval", type=int, default=64,
+                   help="invariant re-check period in references (default: 64)")
+    p.add_argument("--quiet", action="store_true",
+                   help="suppress per-stage progress on stderr")
+    p.set_defaults(fn=_cmd_check)
 
     p = sub.add_parser(
         "trace", help="record, summarize, or diff cache-event flight recordings"

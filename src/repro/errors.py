@@ -30,6 +30,18 @@ class SimulationError(ReproError):
     """
 
 
+class InvariantViolation(SimulationError):
+    """A machine-checked simulation invariant does not hold
+    (``repro.validate``).
+
+    Raised by the invariant checker when the live cache state
+    contradicts a per-policy guarantee — strict inclusion, exclusion
+    disjointness, LAP's no-fill rule, coherence consistency, or
+    dirty-data conservation. The message names the invariant, the
+    offending address, and the state that disproves it.
+    """
+
+
 class WorkloadError(ReproError):
     """A workload or trace definition is malformed or cannot be built."""
 

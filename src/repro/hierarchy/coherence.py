@@ -72,6 +72,15 @@ class CoherenceController:
         """Bitmask of cores other than ``core`` whose L2 holds ``addr``."""
         return self._sharers.get(addr, 0) & ~(1 << core)
 
+    def sharers_snapshot(self) -> Dict[int, int]:
+        """Copy of the sharers map (``addr → core bitmask``).
+
+        Diagnostic/validation surface: ``repro.validate`` rebuilds the
+        map from the L2 tag arrays and compares it against this to
+        prove the O(1) bookkeeping never drifts from the ground truth.
+        """
+        return dict(self._sharers)
+
     # ------------------------------------------------------------------
     # miss-path hooks
     # ------------------------------------------------------------------

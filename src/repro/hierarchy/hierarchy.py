@@ -27,6 +27,7 @@ from dataclasses import dataclass, fields
 from typing import List, Optional, Sequence
 
 from ..cache import Cache, EvictedLine
+from ..cache.block import STATE_MODIFIED
 from ..cache.replacement import LRUPolicy
 from ..cache.stats import LoopBlockStats
 from ..core.loop_bits import LoopBlockTracker
@@ -52,6 +53,11 @@ class HierarchyStats:
     l2_dirty_victims: int = 0
     mem_reads: int = 0
     mem_writes: int = 0
+    #: subset of ``mem_writes`` forced by inclusive back-invalidation
+    #: (the LLC victim's upper-level copy was dirty). Splitting it out
+    #: keeps the write ledger exact: ``mem_writes`` ==
+    #: LLC ``dirty_evictions`` + ``mem_writes_backinval``.
+    mem_writes_backinval: int = 0
 
     def snapshot(self) -> dict:
         """Plain-dict copy for reporting."""
@@ -114,6 +120,7 @@ class CacheHierarchy:
         )
         self.timing = TimingModel(config)
         self.stats = HierarchyStats()
+        self._finished = False
         self.coherence: Optional[CoherenceController] = (
             CoherenceController(self) if enable_coherence else None
         )
@@ -137,6 +144,7 @@ class CacheHierarchy:
         self._on_clean_insert = bus_handlers("clean_insert")
         self._on_dirty_victim = bus_handlers("dirty_victim")
         self._on_occupancy_sample = bus_handlers("occupancy_sample")
+        self._on_mem_writeback = bus_handlers("mem_writeback")
 
     def attach_probe(self, probe: Probe) -> None:
         """Attach one more probe mid-run (e.g. a flight recorder).
@@ -196,7 +204,7 @@ class CacheHierarchy:
             self.timing.memory_access(core)
 
         loop_bit = self.policy.l2_fill_loop_bit(outcome.hit)
-        self._fill_l2(core, addr, loop_bit=loop_bit, is_write=is_write)
+        self._fill_l2(core, addr, loop_bit=loop_bit, is_write=is_write, dirty=outcome.dirty)
         cbs = self._on_l2_fill
         if cbs:
             for cb in cbs:
@@ -212,12 +220,24 @@ class CacheHierarchy:
     # ------------------------------------------------------------------
     # fills and writebacks
     # ------------------------------------------------------------------
-    def _fill_l2(self, core: int, addr: int, loop_bit: bool, is_write: bool) -> None:
+    def _fill_l2(
+        self, core: int, addr: int, loop_bit: bool, is_write: bool, dirty: bool = False
+    ) -> None:
+        """Install a line into ``core``'s L2.
+
+        ``dirty`` marks a fill that inherits a writeback obligation from
+        an invalidated dirty LLC copy (exclusive-style hit-invalidation):
+        the L2 copy starts dirty, and — under coherence — Modified,
+        since the policy only hands dirtiness up when no peer holds the
+        line, making this core the sole owner of the unwritten data.
+        """
         l2 = self.l2s[core]
-        evicted = l2.insert(addr, False, loop_bit)
+        evicted = l2.insert(addr, dirty, loop_bit)
         if self.coherence is not None:
             block = l2.peek(addr)
-            block.state = self.coherence.fill_state(core, addr, is_write)
+            block.state = (
+                STATE_MODIFIED if dirty else self.coherence.fill_state(core, addr, is_write)
+            )
             self.coherence.on_l2_insert(core, addr)
         if evicted is not None:
             self._handle_l2_victim(core, evicted)
@@ -288,6 +308,7 @@ class CacheHierarchy:
         apply back-invalidation for strictly inclusive policies."""
         if line.dirty:
             self.stats.mem_writes += 1
+            self.note_mem_writeback(line.addr)
         self.note_llc_evict(line.addr)
         if self.policy.back_invalidates:
             self._back_invalidate(line.addr)
@@ -307,6 +328,8 @@ class CacheHierarchy:
                     # The LLC copy is gone too; dirty data must reach
                     # memory directly.
                     self.stats.mem_writes += 1
+                    self.stats.mem_writes_backinval += 1
+                    self.note_mem_writeback(addr)
 
     # ---- probe event entry points used by policies & coherence -------
     def note_clean_insert(self, addr: int) -> None:
@@ -334,6 +357,11 @@ class CacheHierarchy:
     def note_llc_evict(self, addr: int) -> None:
         """The line left the LLC."""
         for cb in self._on_llc_evict:
+            cb(addr)
+
+    def note_mem_writeback(self, addr: int) -> None:
+        """Dirty data for ``addr`` was written back to main memory."""
+        for cb in self._on_mem_writeback:
             cb(addr)
 
     def note_l2_drop(self, addr: int, dirty: bool) -> None:
@@ -365,7 +393,13 @@ class CacheHierarchy:
 
         Also reports run totals into the process metrics registry —
         once per run, never per access, so the hot path is unaffected.
+        Idempotent: calling it again (tests, belt-and-braces callers
+        like ``record_simulation``) must not double-report the
+        ``hierarchy.*`` metrics or re-run probe/policy finalisation.
         """
+        if self._finished:
+            return
+        self._finished = True
         self.probe_bus.finish()
         self.policy.end_of_run()
         from ..telemetry.metrics import get_registry

@@ -35,11 +35,17 @@ class LLCAccess(NamedTuple):
 
     ``hit``: whether the LLC supplied the line; ``tech``: technology
     region that serviced the read (for timing), or the LLC's default
-    when missing.
+    when missing. ``dirty``: the supplied line carried dirty data whose
+    only copy now moves up with it — set by hit-invalidating policies
+    (exclusive, switching in exclusive mode) when they discard a dirty
+    LLC copy, so the hierarchy fills the L2 dirty and the writeback
+    obligation survives the move instead of vanishing with the LLC
+    line.
     """
 
     hit: bool
     tech: str
+    dirty: bool = False
 
 
 class InclusionPolicy:
@@ -151,8 +157,11 @@ class InclusionPolicy:
         ``"clean_victim"``, or ``"dirty_victim"``. If the line is
         already present (possible for non-inclusive fills racing with
         victims, and transiently across dynamic-mode switches) the copy
-        is updated in place and dirty victims are counted as
-        ``update_writes``.
+        is updated in place: dirty victims are counted as
+        ``update_writes`` and clean writes keep their requested class —
+        a merged fill stays a ``fill_write`` (it is memory data, not a
+        victim; miscounting it as a clean victim would corrupt the
+        Fig. 15 breakdown across Dswitch/FLEXclusion mode flips).
         """
         llc = self.llc
         stats = llc.stats
@@ -163,6 +172,9 @@ class InclusionPolicy:
             if dirty:
                 stats.update_writes += 1
                 self.h.note_dirty_victim(addr)
+            elif category == "fill":
+                stats.fill_writes += 1
+                self.h.note_fill(addr)
             else:
                 stats.clean_victim_writes += 1
                 self.h.note_clean_insert(addr)

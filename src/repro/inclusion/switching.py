@@ -74,11 +74,15 @@ class SwitchingPolicy(InclusionPolicy):
         block = self._llc_lookup(core, addr)
         if block is not None:
             tech = block.tech
+            dirty = False
             if mode == MODE_EX and not self.h.shared_by_peers(core, addr):
+                # As in the exclusive policy: a discarded dirty copy's
+                # writeback obligation moves up into the L2 fill.
+                dirty = block.dirty
                 self.llc.discard(addr)
                 self.llc.stats.hit_invalidations += 1
                 self.h.note_llc_evict(addr)
-            return LLCAccess(hit=True, tech=tech)
+            return LLCAccess(hit=True, tech=tech, dirty=dirty)
         if mode == MODE_NONI:
             self.insert_or_update(core, addr, dirty=False, category="fill")
         return LLCAccess(hit=False, tech=self.llc.tech)

@@ -61,12 +61,17 @@ class ExclusivePolicy(InclusionPolicy):
         tech = block.tech
         # Invalidate on hit for larger effective capacity (Fig. 1c) —
         # except for lines other cores still hold, which stay resident
-        # so shared readers are not forced through snoops.
+        # so shared readers are not forced through snoops. A dirty copy
+        # hands its writeback obligation up with the data: the L2 fill
+        # inherits the dirty bit, otherwise the deferred memory write
+        # would silently vanish with the invalidated line.
+        dirty = False
         if not self.h.shared_by_peers(core, addr):
+            dirty = block.dirty
             self.llc.discard(addr)
             self.llc.stats.hit_invalidations += 1
             self.h.note_llc_evict(addr)
-        return LLCAccess(hit=True, tech=tech)
+        return LLCAccess(hit=True, tech=tech, dirty=dirty)
 
     def l2_victim(self, core: int, line: EvictedLine) -> None:
         category = "dirty_victim" if line.dirty else "clean_victim"

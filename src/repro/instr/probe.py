@@ -26,6 +26,7 @@ Event vocabulary (one dispatch site each in the hierarchy):
 ``dirtied``               an L2-resident block went clean→dirty (first store)
 ``clean_insert``          a clean L2 victim's data was written into the LLC
 ``dirty_victim``          a dirty L2 victim's data reached the LLC copy
+``mem_writeback``         dirty data for an address reached main memory
 ``occupancy_sample``      a periodic (valid, loop) LLC occupancy sample
 ========================  ====================================================
 """
@@ -49,6 +50,7 @@ PROBE_EVENTS: Tuple[str, ...] = (
     "dirtied",
     "clean_insert",
     "dirty_victim",
+    "mem_writeback",
     "occupancy_sample",
 )
 
@@ -94,6 +96,10 @@ class Probe:
 
     def on_dirty_victim(self, addr: int) -> None:
         """A dirty victim's data reached the LLC copy."""
+
+    def on_mem_writeback(self, addr: int) -> None:
+        """Dirty data for ``addr`` was written back to main memory
+        (an LLC dirty eviction, or a back-invalidated dirty L2 drop)."""
 
     def on_occupancy_sample(self, valid: int, loops: int) -> None:
         """A periodic LLC occupancy sample was taken."""

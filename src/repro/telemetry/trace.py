@@ -52,6 +52,7 @@ EVENT_FIELDS: Dict[str, Tuple[str, ...]] = {
     "dirtied": ("addr",),
     "clean_insert": ("addr",),
     "dirty_victim": ("addr",),
+    "mem_writeback": ("addr",),
     "occupancy_sample": ("valid", "loops"),
 }
 assert set(EVENT_FIELDS) == set(PROBE_EVENTS)
@@ -63,6 +64,7 @@ EVENT_GROUPS: Dict[str, Tuple[str, ...]] = {
     "all": tuple(PROBE_EVENTS),
     "l2": ("l2_fill", "l2_victim", "dirtied"),
     "llc": ("llc_fill", "llc_evict", "demand_hit", "clean_insert", "dirty_victim"),
+    "mem": ("mem_writeback",),
     "occupancy": ("occupancy_sample",),
 }
 
@@ -206,6 +208,10 @@ class TraceProbe(Probe):
     def on_dirty_victim(self, addr: int) -> None:
         if "dirty_victim" in self._enabled:
             self._record("dirty_victim", (addr,))
+
+    def on_mem_writeback(self, addr: int) -> None:
+        if "mem_writeback" in self._enabled:
+            self._record("mem_writeback", (addr,))
 
     def on_occupancy_sample(self, valid: int, loops: int) -> None:
         if "occupancy_sample" in self._enabled:

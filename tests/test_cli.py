@@ -107,3 +107,29 @@ class TestFigureCommand:
 
     def test_unknown_figure_fails_cleanly(self, capsys):
         assert main(["figure", "fig99"]) == 2
+
+
+class TestCheckCommand:
+    def test_check_passes_on_healthy_tree(self, capsys):
+        code = main(["check", "--policy", "lap", "--refs", "300",
+                     "--coherence", "off", "--quiet"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "invariants[lap" in out and "passed" in out
+
+    def test_check_with_fuzz_rounds(self, capsys):
+        code = main(["check", "--policy", "exclusive", "--refs", "300",
+                     "--fuzz", "2", "--coherence", "off", "--quiet"])
+        assert code == 0
+        assert "fuzz" in capsys.readouterr().out
+
+    def test_check_multiple_policies(self, capsys):
+        code = main(["check", "--policy", "exclusive", "--policy", "lap",
+                     "--refs", "300", "--coherence", "off", "--quiet"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "invariants[exclusive" in out and "invariants[lap" in out
+
+    def test_check_registered_in_parser(self):
+        parsed = build_parser().parse_args(["check", "--fuzz", "5"])
+        assert parsed.command == "check" and parsed.fuzz == 5

@@ -197,6 +197,22 @@ class TestInstrumentationPlumbing:
         h.finish()
         assert sum(h.loop_tracker.stats.ctc_histogram.values()) > 0
 
+    def test_finish_is_idempotent(self):
+        """Regression: a second finish() (tests, belt-and-braces callers
+        like record_simulation) used to re-report the run's totals into
+        the metrics registry, double-counting every hierarchy.* metric."""
+        from repro.telemetry.metrics import get_registry
+
+        h = build_micro("non-inclusive")
+        run_refs(h, reads(A, B, C))
+        registry = get_registry()
+        h.finish()
+        runs = registry.counter("hierarchy.runs").value
+        accesses = registry.counter("hierarchy.accesses").value
+        h.finish()
+        assert registry.counter("hierarchy.runs").value == runs
+        assert registry.counter("hierarchy.accesses").value == accesses
+
     def test_store_without_l2_copy_is_an_error(self):
         h = build_micro("non-inclusive")
         run_refs(h, reads(A))

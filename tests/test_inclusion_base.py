@@ -58,6 +58,28 @@ class TestInsertOrUpdate:
         assert h.llc.stats.dirty_victim_writes == 0
         assert h.llc.peek(A).dirty
 
+    def test_merged_fill_stays_a_fill_write(self):
+        """Regression: a fill merging into an existing clean copy was
+        miscounted as a clean_victim_write, corrupting the Fig. 15
+        breakdown across dynamic-mode switches."""
+        h = build_micro("non-inclusive")
+        h.policy.insert_or_update(0, A, dirty=False, category="fill")
+        h.policy.insert_or_update(0, A, dirty=False, category="fill")
+        assert h.llc.stats.fill_writes == 2
+        assert h.llc.stats.clean_victim_writes == 0
+
+    def test_merged_clean_victim_keeps_its_class(self):
+        h = build_micro("non-inclusive")
+        h.policy.insert_or_update(0, A, dirty=False, category="fill")
+        h.policy.insert_or_update(0, A, dirty=False, category="clean_victim")
+        assert h.llc.stats.fill_writes == 1
+        assert h.llc.stats.clean_victim_writes == 1
+
+    def test_dirty_flag_in_llc_access(self):
+        """The dirty field defaults False and rides along on hits."""
+        assert LLCAccess(hit=True, tech="stt").dirty is False
+        assert LLCAccess(hit=True, tech="stt", dirty=True).dirty is True
+
     def test_duplicate_never_created(self):
         h = build_micro("non-inclusive")
         for _ in range(3):

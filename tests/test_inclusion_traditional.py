@@ -106,6 +106,32 @@ class TestExclusiveFlow:
         assert ex_second_round - noni_second_round >= 2
         assert noni_second_round == 2
 
+    def test_hit_invalidation_preserves_dirty_data(self):
+        """Regression: a dirty LLC copy invalidated on a hit hands its
+        writeback obligation up into the L2 fill. It used to be dropped
+        — the line re-filled clean and the deferred memory write
+        silently vanished."""
+        h = build_micro("exclusive")
+        run_refs(h, writes(A) + reads(B, C, D, E))  # dirty A evicted to LLC
+        assert h.llc.peek(A).dirty
+        run_refs(h, reads(A))  # hit-invalidation moves A (and its dirt) up
+        assert h.llc.peek(A) is None
+        assert h.l2s[0].peek(A).dirty
+
+    def test_dirty_round_trip_reaches_memory(self):
+        """Regression companion: after the hit-invalidation round trip,
+        the dirty line's eventual LLC eviction must write memory exactly
+        once (no loss, no double count)."""
+        h = build_micro("exclusive")
+        run_refs(h, writes(A) + reads(B, C, D, E))  # A dirty in the LLC
+        run_refs(h, reads(A))  # round trip: dirt moves back into L2
+        # Flood with 24 fresh blocks: A is re-evicted dirty into the
+        # LLC, then pushed out of the 16-way LLC to memory.
+        flood = reads(*[i * 64 for i in range(8, 32)])
+        run_refs(h, flood)
+        assert h.l2s[0].peek(A) is None and h.llc.peek(A) is None
+        assert h.stats.mem_writes == 1
+
     def test_no_duplicates_invariant(self):
         h = build_micro("exclusive")
         import itertools

@@ -137,10 +137,20 @@ class TestRunner:
             duplicate_builder("astar", ncores=2),
             refs_per_core=1500,
         )
-        # identical traces: L2-side behaviour must match exactly
+        # identical traces: L2-side behaviour must match exactly. The
+        # clean/dirty victim *split* is policy-dependent — exclusive
+        # fills inherit the dirty bit of hit-invalidated LLC copies, so
+        # it re-evicts some lines dirty that non-inclusion (which keeps
+        # the dirty copy in the LLC) re-evicts clean — but the victim
+        # stream itself is identical.
         noni, ex = res["non-inclusive"], res["exclusive"]
         assert noni.hier.accesses == ex.hier.accesses
-        assert noni.hier.l2_dirty_victims == ex.hier.l2_dirty_victims
+        assert noni.hier.l2_hits == ex.hier.l2_hits
+        assert (
+            noni.hier.l2_clean_victims + noni.hier.l2_dirty_victims
+            == ex.hier.l2_clean_victims + ex.hier.l2_dirty_victims
+        )
+        assert ex.hier.l2_dirty_victims >= noni.hier.l2_dirty_victims
 
     def test_normalized_metric(self, small_system):
         res = run_policies(

@@ -81,6 +81,18 @@ class TestSwitchedDataFlow:
         run_refs(h, reads(A))
         assert h.llc.peek(A) is None
 
+    def test_ex_mode_hit_invalidation_preserves_dirty_data(self):
+        """Regression: exclusive-mode hit-invalidation must hand a dirty
+        LLC copy's writeback obligation up into the L2 fill, exactly as
+        the pure exclusive policy does."""
+        for name in ("flexclusion", "dswitch"):
+            h = self._policy_in_mode(name, MODE_EX)
+            run_refs(h, writes(A) + reads(B, C, D, E))  # dirty A in the LLC
+            assert h.llc.peek(A).dirty
+            run_refs(h, reads(A))  # hit-invalidation
+            assert h.llc.peek(A) is None
+            assert h.l2s[0].peek(A).dirty, name
+
     def test_dirty_victims_written_in_both_modes(self):
         for mode in (MODE_NONI, MODE_EX):
             h = self._policy_in_mode("dswitch", mode)
