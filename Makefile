@@ -4,7 +4,7 @@
 PYTHON ?= python
 PYTHONPATH := src
 
-.PHONY: test check bench lint trace-demo
+.PHONY: test check bench lint trace-demo serve-demo
 
 test:
 	PYTHONPATH=$(PYTHONPATH) $(PYTHON) -m pytest -x -q
@@ -22,6 +22,12 @@ bench:
 trace-demo:
 	cd benchmarks && PYTHONPATH=../$(PYTHONPATH) $(PYTHON) -m pytest -q --benchmark-only test_trace_demo.py
 	@cat benchmarks/results/trace_demo.txt
+
+# Boot the simulation service, submit one Fig. 14 cell twice (same
+# server, then a restarted server on the shared cache dir) and assert
+# the second and third submissions never simulate (DESIGN.md §12).
+serve-demo:
+	PYTHONPATH=$(PYTHONPATH) $(PYTHON) examples/serve_demo.py
 
 # `ruff` is an optional dependency (`pip install -e '.[lint]'`); the
 # target degrades to a notice where it is unavailable so `make lint`

@@ -7,10 +7,21 @@ policy, refs) that produced it — there is no invalidation logic to get
 wrong, only misses. A size cap evicts least-recently-used entries
 (mtime order; hits refresh mtime). Corrupt or schema-mismatched files
 count as misses and are deleted on sight.
+
+The directory is safe to share between independent writers (the serve
+daemon, concurrent CLI invocations, pool workers): every store writes
+a process-unique temporary file and publishes it with an atomic
+``os.replace``, so readers only ever observe complete entries, and
+every directory walk tolerates entries that a racing eviction (or
+``clear``) deletes mid-scan. Two processes storing the same key both
+win — the entries are byte-identical by construction (content
+addressing plus deterministic simulation), so last-replace-wins is a
+no-op.
 """
 
 from __future__ import annotations
 
+import itertools
 import json
 import os
 import pathlib
@@ -27,6 +38,11 @@ DEFAULT_MAX_BYTES = 512 * 1024 * 1024  # 512 MiB of JSON ≈ hundreds of thousan
 # Environment variable consulted by :func:`cache_from_env` (the CLI and
 # the benchmark harness both honour it).
 CACHE_DIR_ENV = "REPRO_CACHE_DIR"
+
+# Distinguishes concurrent in-process writers (serve worker threads)
+# sharing one pid; combined with the pid it makes temp names unique
+# across processes sharing a cache directory.
+_tmp_counter = itertools.count()
 
 
 @dataclass
@@ -127,7 +143,10 @@ class ResultCache:
             "result": result_to_dict(result),
         }
         path = self._path(key)
-        tmp = path.with_suffix(".tmp")
+        # Process- and thread-unique temp name: concurrent writers of
+        # the same key must never interleave bytes in a shared temp
+        # file. The leading dot keeps it out of the ``*.json`` walks.
+        tmp = self.root / f".{key}.{os.getpid()}.{next(_tmp_counter)}.tmp"
         try:
             tmp.write_text(json.dumps(payload))
             os.replace(tmp, path)
@@ -137,14 +156,31 @@ class ResultCache:
         self.puts += 1
         self._enforce_cap(protect=path)
 
+    @staticmethod
+    def _sizes(entries) -> Dict[pathlib.Path, int]:
+        """``{path: byte size}`` skipping entries a racer just deleted."""
+        sizes: Dict[pathlib.Path, int] = {}
+        for path in entries:
+            try:
+                sizes[path] = path.stat().st_size
+            except OSError:
+                continue  # evicted/cleared by a concurrent writer
+        return sizes
+
     def _enforce_cap(self, protect: Optional[pathlib.Path] = None) -> None:
-        entries = self._entries()
-        sizes = {p: p.stat().st_size for p in entries}
+        sizes = self._sizes(self._entries())
         total = sum(sizes.values())
         if total <= self.max_bytes:
             return
+
+        def mtime(path: pathlib.Path) -> float:
+            try:
+                return path.stat().st_mtime
+            except OSError:
+                return 0.0  # already gone: sorts first, unlink is a no-op
+
         # Oldest first; never evict the entry just written.
-        for path in sorted(entries, key=lambda p: p.stat().st_mtime):
+        for path in sorted(sizes, key=mtime):
             if path == protect:
                 continue
             total -= sizes[path]
@@ -163,14 +199,14 @@ class ResultCache:
 
     def stats(self) -> ResultCacheStats:
         """Session hit/miss/evict counters plus current disk footprint."""
-        entries = self._entries()
+        sizes = self._sizes(self._entries())
         return ResultCacheStats(
             hits=self.hits,
             misses=self.misses,
             evictions=self.evictions,
             puts=self.puts,
-            entries=len(entries),
-            total_bytes=sum(p.stat().st_size for p in entries),
+            entries=len(sizes),
+            total_bytes=sum(sizes.values()),
             max_bytes=self.max_bytes,
         )
 

@@ -23,6 +23,15 @@ unchanged. Anything else (a worker killed by the OS, a broken pool, a
 pickling hiccup) is treated as transient and retried once, in-process;
 a second failure raises :class:`~repro.errors.ExecutionError`.
 
+Interruption policy: SIGINT (Ctrl-C) and SIGTERM (a supervisor's stop)
+during a batch shut the batch down gracefully instead of unwinding
+with a raw traceback — pending work is cancelled, every *completed*
+job is still cached and profiled, the manifest is still written, and
+the caller receives a partial :class:`ExecutionOutcome` with
+``interrupted=True`` (SIGTERM is bridged to ``KeyboardInterrupt``
+while the batch runs, main thread only — worker-thread callers such as
+the serve daemon inherit their host's signal handling untouched).
+
 Workers serialise results with :mod:`repro.exec.serialize` rather than
 pickling :class:`RunResult` objects, so the parallel path returns
 byte-identical data to the cache path.
@@ -31,9 +40,12 @@ byte-identical data to the cache path.
 from __future__ import annotations
 
 import concurrent.futures as cf
+import contextlib
 import pathlib
+import signal
+import threading
 import time
-from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple, Union
+from typing import Any, Callable, Dict, Iterator, List, Optional, Sequence, Tuple, Union
 
 from ..errors import ExecutionError, ReproError
 from ..sim.results import RunResult
@@ -55,7 +67,10 @@ class ExecutionOutcome(List[RunResult]):
     """Ordered results plus per-job execution telemetry.
 
     Behaves exactly like the plain ``List[RunResult]`` this function
-    used to return; the telemetry rides along as attributes.
+    used to return; the telemetry rides along as attributes. An
+    interrupted batch (``interrupted=True``) holds only the jobs that
+    completed — still in input order — with ``total_jobs`` recording
+    how many were requested.
     """
 
     def __init__(
@@ -64,11 +79,15 @@ class ExecutionOutcome(List[RunResult]):
         profiles: Sequence[JobProfile],
         max_workers: int,
         wall_s: float,
+        interrupted: bool = False,
+        total_jobs: Optional[int] = None,
     ) -> None:
         super().__init__(results)
         self.profiles: List[JobProfile] = list(profiles)
         self.max_workers = max_workers
         self.wall_s = wall_s
+        self.interrupted = interrupted
+        self.total_jobs = len(self) if total_jobs is None else total_jobs
 
     @property
     def cache_hits(self) -> int:
@@ -122,6 +141,32 @@ def _run_with_retry(
     ) from last
 
 
+@contextlib.contextmanager
+def _sigterm_as_interrupt() -> Iterator[None]:
+    """Bridge SIGTERM to ``KeyboardInterrupt`` for the enclosed batch.
+
+    Lets a supervisor's ``kill`` trigger the same graceful partial
+    shutdown as Ctrl-C. Signal handlers are a main-thread-only,
+    process-global resource, so this is a no-op off the main thread
+    (e.g. ``execute_jobs`` running inside a serve worker thread) and
+    on platforms that refuse the handler.
+    """
+    if threading.current_thread() is not threading.main_thread():
+        yield
+        return
+    def _raise(signum, frame):  # noqa: ARG001
+        raise KeyboardInterrupt
+    try:
+        previous = signal.signal(signal.SIGTERM, _raise)
+    except (ValueError, OSError, AttributeError):  # no SIGTERM / exotic host
+        yield
+        return
+    try:
+        yield
+    finally:
+        signal.signal(signal.SIGTERM, previous)
+
+
 def _profile_for(
     index: int, job: JobSpec, source: str, result: RunResult
 ) -> JobProfile:
@@ -157,6 +202,11 @@ def execute_jobs(
     writes the run manifest there (``manifest.json``);
     ``heartbeat_interval`` emits progress lines at most that many
     seconds apart (via ``heartbeat_emit``, default stderr).
+
+    SIGINT/SIGTERM mid-batch returns a *partial* outcome instead of
+    raising: completed jobs are cached, profiled, and manifest-logged
+    as usual, pending work is cancelled, and the returned outcome has
+    ``interrupted=True`` with ``total_jobs`` = the requested count.
     """
     start = time.perf_counter()
     jobs = list(jobs)
@@ -185,36 +235,50 @@ def execute_jobs(
         misses = list(range(len(jobs)))
     cached_count = len(jobs) - len(misses)
 
+    interrupted = False
     if misses:
-        if max_workers > 1 and len(misses) > 1:
-            _execute_pooled(
-                jobs, misses, results, profiles, max_workers, timeout, retries, pulse,
-                cached_count,
-            )
-        else:
-            for n, i in enumerate(misses):
-                job_start = time.perf_counter()
-                results[i], used = _run_with_retry(jobs[i], i, retries)
-                profile = _profile_for(i, jobs[i], SOURCE_SERIAL, results[i])
-                profile.wall_s = time.perf_counter() - job_start
-                profile.retries = used
-                profile.peak_rss_kb = peak_rss_kb()
-                profiles[i] = profile
-                pulse.beat(cached_count + n + 1, cached_count)
+        with _sigterm_as_interrupt():
+            try:
+                if max_workers > 1 and len(misses) > 1:
+                    _execute_pooled(
+                        jobs, misses, results, profiles, max_workers, timeout,
+                        retries, pulse, cached_count,
+                    )
+                else:
+                    for n, i in enumerate(misses):
+                        job_start = time.perf_counter()
+                        results[i], used = _run_with_retry(jobs[i], i, retries)
+                        profile = _profile_for(i, jobs[i], SOURCE_SERIAL, results[i])
+                        profile.wall_s = time.perf_counter() - job_start
+                        profile.retries = used
+                        profile.peak_rss_kb = peak_rss_kb()
+                        profiles[i] = profile
+                        pulse.beat(cached_count + n + 1, cached_count)
+            except KeyboardInterrupt:
+                # Graceful shutdown: keep everything that finished.
+                # (_execute_pooled has already cancelled its futures.)
+                interrupted = True
         if cache is not None:
             for i in misses:
-                cache.put(jobs[i], results[i])
+                if results[i] is not None:
+                    cache.put(jobs[i], results[i])
 
+    completed = [
+        i for i in range(len(jobs))
+        if results[i] is not None and profiles[i] is not None
+    ]
     wall_s = time.perf_counter() - start
     outcome = ExecutionOutcome(
-        results,  # type: ignore[arg-type]
-        profiles,  # type: ignore[arg-type]
+        [results[i] for i in completed],  # type: ignore[misc]
+        [profiles[i] for i in completed],  # type: ignore[misc]
         max_workers=max_workers,
         wall_s=wall_s,
+        interrupted=interrupted,
+        total_jobs=len(jobs),
     )
     _report_metrics(outcome)
     if jobs:
-        pulse.final(len(jobs), cached_count)
+        pulse.final(len(completed), cached_count)
     if manifest_dir is not None:
         outcome.write_manifest(manifest_dir)
     return outcome
@@ -226,6 +290,8 @@ def _report_metrics(outcome: ExecutionOutcome) -> None:
 
     registry = get_registry()
     registry.counter("exec.jobs").inc(len(outcome))
+    if outcome.interrupted:
+        registry.counter("exec.interrupted").inc()
     registry.counter("exec.cache_hits").inc(outcome.cache_hits)
     registry.counter("exec.cache_misses").inc(outcome.cache_misses)
     registry.counter("exec.retries").inc(sum(p.retries for p in outcome.profiles))
@@ -265,7 +331,7 @@ def _execute_pooled(
             pulse.beat(cached_count + n + 1, cached_count)
         return
 
-    with pool:
+    try:
         futures = {i: pool.submit(_run_job_dict, jobs[i]) for i in misses}
         retry_budget = {i: retries for i in misses}
         pending = list(misses)
@@ -310,6 +376,20 @@ def _execute_pooled(
                     ) from exc
             done += 1
             pulse.beat(cached_count + done, cached_count)
+    except KeyboardInterrupt:
+        # Graceful shutdown: drop work that has not started, abandon
+        # the in-flight job (a process pool cannot preempt it), keep
+        # every result already collected. The caller turns this into a
+        # partial ExecutionOutcome.
+        for future in futures.values():
+            future.cancel()
+        pool.shutdown(wait=False, cancel_futures=True)
+        raise
+    except BaseException:
+        pool.shutdown(wait=True, cancel_futures=True)
+        raise
+    else:
+        pool.shutdown(wait=True)
 
 
 def _wait_with_heartbeat(

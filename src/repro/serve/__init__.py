@@ -1,0 +1,58 @@
+"""repro.serve — simulation-as-a-service over the execution engine.
+
+``repro.exec`` turned one experiment into a content-addressed value
+and a batch of them into a cached, profiled pool run; this package
+puts a network front on that machinery. An asyncio HTTP/JSON server
+(:class:`ReproServer`, stdlib only) accepts canonical job specs,
+coalesces identical in-flight submissions onto one record (the job id
+*is* the cache key), short-circuits warm-cache hits without queueing,
+schedules the rest fairly across clients (per-client FIFO,
+round-robin, bounded queue with 429 backpressure), and serves status,
+results, and a ``/metrics`` snapshot wired to the process metrics
+registry. :class:`ServeClient` is the matching stdlib client behind
+``repro submit|status|result``.
+"""
+
+from .client import ServeClient
+from .protocol import (
+    DEFAULT_CLIENT,
+    DEFAULT_PORT,
+    STATE_DONE,
+    STATE_FAILED,
+    STATE_QUEUED,
+    STATE_RUNNING,
+    STATES,
+    is_job_id,
+    parse_submission,
+    submission_body,
+)
+from .scheduler import DEFAULT_QUEUE_LIMIT, FairScheduler, JobRecord
+from .server import (
+    ReproServer,
+    ServeConfig,
+    ServerHandle,
+    serve_forever,
+    serve_in_thread,
+)
+
+__all__ = [
+    "DEFAULT_CLIENT",
+    "DEFAULT_PORT",
+    "DEFAULT_QUEUE_LIMIT",
+    "FairScheduler",
+    "JobRecord",
+    "ReproServer",
+    "STATES",
+    "STATE_DONE",
+    "STATE_FAILED",
+    "STATE_QUEUED",
+    "STATE_RUNNING",
+    "ServeClient",
+    "ServeConfig",
+    "ServerHandle",
+    "is_job_id",
+    "parse_submission",
+    "serve_forever",
+    "serve_in_thread",
+    "submission_body",
+]

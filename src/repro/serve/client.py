@@ -1,0 +1,161 @@
+"""Blocking stdlib client for the simulation service.
+
+Used by the ``repro submit|status|result`` CLI commands, the tests,
+and the serve demo; anything that speaks HTTP/JSON works too — this
+class just packages the handshakes (submission body shape, error
+mapping, polling) so callers deal in :class:`JobSpec` in and
+:class:`RunResult` out.
+
+Error mapping mirrors the server's codes: a 429 raises
+:class:`~repro.errors.BackpressureError`, every other error response
+raises :class:`~repro.errors.ServeError` carrying the HTTP status and
+the server's detail message.
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+import time
+from typing import Any, Dict, List, Optional, Sequence, Tuple, Union
+
+from ..errors import BackpressureError, ServeError
+from ..exec.jobs import JobSpec
+from ..exec.serialize import result_from_dict
+from ..sim.results import RunResult
+from .protocol import (
+    DEFAULT_CLIENT,
+    DEFAULT_PORT,
+    STATE_DONE,
+    STATE_FAILED,
+    submission_body,
+)
+
+
+class ServeClient:
+    """Talks to one ``repro serve`` instance."""
+
+    def __init__(
+        self,
+        host: str = "127.0.0.1",
+        port: int = DEFAULT_PORT,
+        client_id: str = DEFAULT_CLIENT,
+        timeout: float = 60.0,
+    ) -> None:
+        self.host = host
+        self.port = port
+        self.client_id = client_id
+        self.timeout = timeout
+
+    # ------------------------------------------------------------------
+    # transport
+    # ------------------------------------------------------------------
+    def _request(
+        self, method: str, path: str, payload: Optional[Dict[str, Any]] = None
+    ) -> Tuple[int, Any]:
+        body = None if payload is None else json.dumps(payload).encode("utf-8")
+        headers = {"Content-Type": "application/json"} if body else {}
+        conn = http.client.HTTPConnection(self.host, self.port, timeout=self.timeout)
+        try:
+            try:
+                conn.request(method, path, body=body, headers=headers)
+                response = conn.getresponse()
+                raw = response.read()
+            except (OSError, http.client.HTTPException) as exc:
+                raise ServeError(
+                    f"cannot reach repro serve at {self.host}:{self.port}: {exc}",
+                    status=503,
+                ) from None
+        finally:
+            conn.close()
+        try:
+            data = json.loads(raw.decode("utf-8")) if raw else None
+        except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+            raise ServeError(
+                f"malformed response from server ({response.status}): {exc}",
+                status=502,
+            ) from None
+        return response.status, data
+
+    def _checked(
+        self, method: str, path: str, payload: Optional[Dict[str, Any]] = None
+    ) -> Any:
+        status, data = self._request(method, path, payload)
+        if status < 400:
+            return data
+        detail = "unexpected error"
+        if isinstance(data, dict):
+            detail = data.get("detail") or data.get("error") or detail
+            if data.get("error") == "backpressure" or status == 429:
+                raise BackpressureError(detail)
+        raise ServeError(f"server returned {status}: {detail}", status=status)
+
+    # ------------------------------------------------------------------
+    # API surface
+    # ------------------------------------------------------------------
+    def health(self) -> Dict[str, Any]:
+        return self._checked("GET", "/healthz")
+
+    def metrics(self) -> Dict[str, Any]:
+        return self._checked("GET", "/metrics")
+
+    def submit(
+        self, jobs: Union[JobSpec, Sequence[JobSpec]]
+    ) -> Union[Dict[str, Any], List[Dict[str, Any]]]:
+        """Submit one spec (returns its receipt) or many (list of receipts).
+
+        A receipt is the job's status payload; ``receipt["id"]`` is the
+        content-addressed job id, stable across clients and retries.
+        """
+        single = isinstance(jobs, JobSpec)
+        specs = [jobs] if single else list(jobs)
+        if not specs:
+            raise ServeError("nothing to submit")
+        data = self._checked(
+            "POST", "/jobs", submission_body(specs, client=self.client_id)
+        )
+        if single:
+            return data
+        return data["jobs"] if isinstance(data, dict) and "jobs" in data else [data]
+
+    def status(self, job_id: str) -> Dict[str, Any]:
+        return self._checked("GET", f"/jobs/{job_id}")
+
+    def jobs(self) -> List[Dict[str, Any]]:
+        return self._checked("GET", "/jobs")["jobs"]
+
+    def result(self, job_id: str) -> RunResult:
+        """The finished job's :class:`RunResult` (409 → ``ServeError``)."""
+        data = self._checked("GET", f"/jobs/{job_id}/result")
+        return result_from_dict(data["result"])
+
+    def wait(
+        self, job_id: str, timeout: float = 300.0, poll_interval: float = 0.1
+    ) -> Dict[str, Any]:
+        """Poll until the job reaches a terminal state; returns its status.
+
+        Raises :class:`ServeError` if the job failed or the timeout
+        elapsed first.
+        """
+        deadline = time.monotonic() + timeout
+        while True:
+            status = self.status(job_id)
+            if status["state"] == STATE_DONE:
+                return status
+            if status["state"] == STATE_FAILED:
+                raise ServeError(f"job {job_id} failed: {status['error']}", status=409)
+            if time.monotonic() >= deadline:
+                raise ServeError(
+                    f"job {job_id} still {status['state']} after {timeout:g}s",
+                    status=504,
+                )
+            time.sleep(poll_interval)
+
+    def run(self, spec: JobSpec, timeout: float = 300.0) -> RunResult:
+        """Submit + wait + fetch in one call (the CLI's ``--wait`` path)."""
+        receipt = self.submit(spec)
+        if receipt["state"] == STATE_FAILED:
+            raise ServeError(f"job failed: {receipt['error']}", status=409)
+        if receipt["state"] != STATE_DONE:
+            self.wait(receipt["id"], timeout=timeout)
+        return self.result(receipt["id"])
