@@ -4,7 +4,7 @@
 PYTHON ?= python
 PYTHONPATH := src
 
-.PHONY: test check bench lint trace-demo serve-demo
+.PHONY: test check bench bench-figures lint trace-demo serve-demo
 
 test:
 	PYTHONPATH=$(PYTHONPATH) $(PYTHON) -m pytest -x -q
@@ -14,7 +14,13 @@ test:
 check:
 	PYTHONPATH=$(PYTHONPATH) $(PYTHON) -m repro check --fuzz 200
 
+# Hot-path throughput per tag-store backend; appends one timestamped
+# entry to BENCH_hotpath.json (DESIGN.md §13).
 bench:
+	PYTHONPATH=$(PYTHONPATH) $(PYTHON) -m repro bench
+
+# Regenerate every table & figure artefact via the pytest benchmarks.
+bench-figures:
 	cd benchmarks && PYTHONPATH=../$(PYTHONPATH) $(PYTHON) -m pytest -q --benchmark-only
 
 # Record + diff a tiny LAP-vs-non-inclusive pair with the flight

@@ -1,29 +1,34 @@
-"""Hot-path throughput microbenchmark (instrumented vs. probe-free).
+"""Hot-path throughput microbenchmark, labelled by tag-store backend.
 
-Measures raw simulator accesses/sec on the Fig. 14 policy grid three
-ways — with the default probe set (loop tracker + redundant-fill
-detector + occupancy sampler), probe-free, and probe-free with the
-telemetry layer imported and a live metrics registry installed but
-nothing recording — and writes the record to ``BENCH_hotpath.json`` at
-the repo root so future PRs can track the hot-path trajectory.
+Measures raw simulator accesses/sec on the kernel-eligible policy trio
+four ways — instrumented (default probe set, object layout), probe-free
+on the ``object`` backend, probe-free on the ``soa`` backend (numpy
+struct-of-arrays + batched kernel, DESIGN.md §13), and probe-free with
+the telemetry layer imported but idle — and **appends** one
+timestamped, backend-tagged entry to ``BENCH_hotpath.json`` at the repo
+root. Earlier entries (including the pre-refactor record, preserved
+under ``"legacy"``) are never overwritten, so the file carries the
+before/after history across refactors.
+
+The soa leg is the point of the benchmark: when numpy is unavailable
+the whole test skips loudly with a reason instead of silently passing
+on an object-only grid.
 
 ``PRE_REFACTOR_BASELINE`` pins the accesses/sec measured at the growth
 seed (commit ad4a4f6, always-on instrumentation, same workload/refs/
-geometry) on the machine that landed the probe-bus refactor. The
-refactor's acceptance bar — probe-free ≥ 1.5× that baseline — is
-asserted loosely here (machines differ); the recorded JSON carries the
-exact ratios.
+geometry). Cross-machine ratios are asserted loosely here; the recorded
+JSON carries the exact numbers for same-machine comparison.
 """
 
 from __future__ import annotations
 
-import json
 import pathlib
-import time
 
-from repro.sim.simulator import Simulator
+import pytest
+
+from repro.bench import append_entry, measure_throughput, run_hotpath_bench
+from repro.kernel import numpy_available
 from repro.sim.system import SystemConfig
-from repro.workloads.mixes import make_table3_mix
 
 BENCH_PATH = pathlib.Path(__file__).parent.parent / "BENCH_hotpath.json"
 
@@ -38,92 +43,118 @@ PRE_REFACTOR_BASELINE = {
     "lap": 66_642,
 }
 
+#: loose in-benchmark floor for the soa-vs-object speedup. The
+#: acceptance target (≥ 3×, recorded in BENCH_hotpath.json) is a
+#: same-machine best-of comparison; shared CI runners are noisy enough
+#: that the automated gate sits lower.
+MIN_SOA_SPEEDUP = 1.8
+
 
 def _throughput(system: SystemConfig, policy: str) -> float:
-    """Best-of-REPS accesses/sec for one (system, policy) cell."""
-    ctx = system.scale_context()
-    best = 0.0
-    for _ in range(REPS):
-        workload = make_table3_mix("WL1", ctx, seed=7)
-        sim = Simulator(system, policy, workload)
-        start = time.perf_counter()
-        result = sim.run(REFS_PER_CORE)
-        elapsed = time.perf_counter() - start
-        best = max(best, result.hier.accesses / elapsed)
-    return best
+    return measure_throughput(
+        system, policy, refs_per_core=REFS_PER_CORE, reps=REPS, seed=7
+    )
 
 
 def measure_grid() -> dict:
+    # Probe-free, both backends: the backend-tagged core of the entry.
+    entry = run_hotpath_bench(
+        POLICIES,
+        ("object", "soa"),
+        refs_per_core=REFS_PER_CORE,
+        reps=REPS,
+        seed=7,
+    )
+    entry["pre_refactor_accesses_per_sec"] = dict(PRE_REFACTOR_BASELINE)
+
+    # Instrumented leg (default probes; probes force the object layout's
+    # generic path, so this tracks the instrumentation overhead).
     system = SystemConfig.scaled()
-    record = {
-        "workload": "WL1",
-        "refs_per_core": REFS_PER_CORE,
-        "reps": REPS,
-        "pre_refactor_accesses_per_sec": dict(PRE_REFACTOR_BASELINE),
-        "instrumented_accesses_per_sec": {},
-        "probe_free_accesses_per_sec": {},
-        "telemetry_idle_accesses_per_sec": {},
-        "probe_free_vs_pre_refactor": {},
-        "probe_free_vs_instrumented": {},
-        "telemetry_idle_vs_probe_free": {},
+    entry["instrumented_accesses_per_sec"] = {
+        policy: round(_throughput(system, policy)) for policy in POLICIES
     }
-    probe_free_system = system.probe_free()
-    for policy in POLICIES:
-        instrumented = _throughput(system, policy)
-        probe_free = _throughput(probe_free_system, policy)
-        record["instrumented_accesses_per_sec"][policy] = round(instrumented)
-        record["probe_free_accesses_per_sec"][policy] = round(probe_free)
-        record["probe_free_vs_pre_refactor"][policy] = round(
-            probe_free / PRE_REFACTOR_BASELINE[policy], 3
+
+    probe_free = {
+        policy: entry["accesses_per_sec"][policy]["object"] for policy in POLICIES
+    }
+    entry["probe_free_vs_instrumented"] = {
+        policy: round(
+            probe_free[policy] / entry["instrumented_accesses_per_sec"][policy], 3
         )
-        record["probe_free_vs_instrumented"][policy] = round(
-            probe_free / instrumented, 3
-        )
+        for policy in POLICIES
+    }
+    entry["probe_free_vs_pre_refactor"] = {
+        policy: round(probe_free[policy] / PRE_REFACTOR_BASELINE[policy], 3)
+        for policy in POLICIES
+    }
 
     # Telemetry-idle guard: with repro.telemetry fully imported and a
     # live metrics registry installed — but no TraceProbe attached and
-    # nothing recording — the probe-free hot path must be unchanged.
-    # Metrics reporting is edge-triggered (once per run in finish()),
-    # so this measures that the telemetry layer stays off the per-access
-    # path entirely.
+    # nothing recording — the probe-free object hot path must be
+    # unchanged. Metrics reporting is edge-triggered (once per run in
+    # finish()), so this measures that the telemetry layer stays off
+    # the per-access path entirely.
     from repro.telemetry import MetricsRegistry, set_registry
 
+    probe_free_system = system.probe_free().with_tag_backend("object")
     previous = set_registry(MetricsRegistry())
     try:
-        for policy in POLICIES:
-            idle = _throughput(probe_free_system, policy)
-            record["telemetry_idle_accesses_per_sec"][policy] = round(idle)
-            record["telemetry_idle_vs_probe_free"][policy] = round(
-                idle / record["probe_free_accesses_per_sec"][policy], 3
-            )
+        entry["telemetry_idle_accesses_per_sec"] = {
+            policy: round(_throughput(probe_free_system, policy))
+            for policy in POLICIES
+        }
     finally:
         set_registry(previous)
-    return record
+    entry["telemetry_idle_vs_probe_free"] = {
+        policy: round(
+            entry["telemetry_idle_accesses_per_sec"][policy] / probe_free[policy], 3
+        )
+        for policy in POLICIES
+    }
+    return entry
 
 
 def test_hotpath_throughput(benchmark, emit):
     from conftest import run_once
 
-    record = run_once(benchmark, measure_grid)
-    BENCH_PATH.write_text(json.dumps(record, indent=2, sort_keys=True) + "\n")
+    if not numpy_available():
+        pytest.skip(
+            "numpy is not importable: the soa tag-store backend (the "
+            "vectorized hot path this benchmark exists to track) cannot "
+            "run, and an object-only grid would record a misleadingly "
+            "green entry"
+        )
 
-    lines = [f"{'policy':15s} {'instrumented':>14s} {'probe-free':>12s} {'vs-seed':>8s}"]
+    entry = run_once(benchmark, measure_grid)
+    append_entry(BENCH_PATH, entry)
+
+    lines = [
+        f"{'policy':15s} {'instrumented':>14s} {'object':>10s} {'soa':>10s} "
+        f"{'soa/object':>10s}"
+    ]
     for policy in POLICIES:
+        rates = entry["accesses_per_sec"][policy]
         lines.append(
-            f"{policy:15s} {record['instrumented_accesses_per_sec'][policy]:>14,} "
-            f"{record['probe_free_accesses_per_sec'][policy]:>12,} "
-            f"{record['probe_free_vs_pre_refactor'][policy]:>7.2f}x"
+            f"{policy:15s} {entry['instrumented_accesses_per_sec'][policy]:>14,} "
+            f"{rates['object']:>10,} {rates['soa']:>10,} "
+            f"{entry['speedup_soa_vs_object'][policy]:>9.2f}x"
         )
     emit("hotpath_throughput", "\n".join(lines))
 
-    # Loose in-benchmark gates (the exact 1.5×-vs-seed acceptance is a
-    # same-machine comparison; the recorded JSON carries those ratios):
-    # disabling probes must never cost throughput, and the grid must be
-    # meaningfully faster probe-free.
+    # Loose in-benchmark gates (exact acceptance ratios are same-machine
+    # comparisons; the appended JSON entry carries them):
+    # disabling probes must never cost throughput, the object grid must
+    # stay ahead of the pre-refactor seed, and the soa backend must beat
+    # the object backend by a wide margin on every policy.
     for policy in POLICIES:
-        assert record["probe_free_vs_instrumented"][policy] > 0.95, policy
-    grid_ratio = sum(record["probe_free_vs_pre_refactor"].values()) / len(POLICIES)
+        assert entry["probe_free_vs_instrumented"][policy] > 0.95, policy
+    grid_ratio = sum(entry["probe_free_vs_pre_refactor"].values()) / len(POLICIES)
     assert grid_ratio > 1.2
+    for policy in POLICIES:
+        assert entry["speedup_soa_vs_object"][policy] >= MIN_SOA_SPEEDUP, (
+            policy,
+            entry["speedup_soa_vs_object"][policy],
+        )
     # Telemetry importable-but-disabled must not tax the hot path.
     for policy in POLICIES:
-        assert record["telemetry_idle_vs_probe_free"][policy] > 0.9, policy
+        assert entry["telemetry_idle_vs_probe_free"][policy] > 0.9, policy

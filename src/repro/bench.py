@@ -1,0 +1,166 @@
+"""Hot-path throughput benchmarking across tag-store backends.
+
+One bench run measures the probe-free simulation rate (accesses/sec,
+best of ``reps`` to shed scheduler noise) for each requested policy on
+each requested backend, and appends the result as one timestamped,
+backend-tagged entry to ``BENCH_hotpath.json``. The entry format is
+append-only history: re-running the bench never overwrites earlier
+measurements, so before/after comparisons across refactors stay in the
+file (ROADMAP item 1 asks exactly for that record).
+
+File schema (version 2)::
+
+    {
+      "schema": 2,
+      "legacy": {...},          # the pre-refactor flat record, if any
+      "entries": [
+        {
+          "timestamp": "2026-08-08T12:34:56Z",
+          "workload": "WL1", "refs_per_core": 30000, "reps": 5,
+          "backends": ["object", "soa"],
+          "accesses_per_sec": {"lap": {"object": 101873, "soa": 317849}},
+          "speedup_soa_vs_object": {"lap": 3.12},
+          ...
+        }, ...
+      ]
+    }
+
+A version-1 file (one flat dict, no ``entries``) is migrated in place
+on first append: the old record moves under ``"legacy"``.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Union
+
+from .kernel import numpy_available
+from .sim.simulator import Simulator
+from .sim.system import SystemConfig
+
+#: the kernel-eligible policies the hot-path bench tracks by default —
+#: one per batched-kernel mode (non-inclusion, exclusion, LAP).
+BENCH_POLICIES = ("non-inclusive", "exclusive", "lap")
+
+DEFAULT_REFS = 30_000
+DEFAULT_REPS = 5
+
+
+def measure_throughput(
+    system: SystemConfig,
+    policy: str,
+    workload_name: str = "WL1",
+    refs_per_core: int = DEFAULT_REFS,
+    reps: int = DEFAULT_REPS,
+    seed: int = 7,
+) -> float:
+    """Best-of-``reps`` probe-free accesses/sec for one (policy, system).
+
+    Each rep builds a fresh simulator (cold caches — the measurement is
+    of the engine, not of a warmed state) and times ``Simulator.run``
+    wall-to-wall, workload generation included. Best-of is deliberate:
+    the floor of a throughput measurement is noise, the ceiling is the
+    engine.
+    """
+    from .workloads.mixes import make_table3_mix
+
+    best = 0.0
+    for _ in range(max(1, reps)):
+        workload = make_table3_mix(workload_name, system.scale_context(), seed=seed)
+        sim = Simulator(system, policy, workload)
+        start = time.perf_counter()
+        sim.run(refs_per_core)
+        elapsed = time.perf_counter() - start
+        rate = (refs_per_core * workload.ncores) / elapsed
+        if rate > best:
+            best = rate
+    return best
+
+
+def run_hotpath_bench(
+    policies: Sequence[str] = BENCH_POLICIES,
+    backends: Optional[Sequence[str]] = None,
+    *,
+    workload: str = "WL1",
+    refs_per_core: int = DEFAULT_REFS,
+    reps: int = DEFAULT_REPS,
+    seed: int = 7,
+) -> dict:
+    """Measure every (policy, backend) cell and return one bench entry.
+
+    ``backends`` defaults to ``("object", "soa")`` when numpy is
+    importable and ``("object",)`` otherwise — the entry's
+    ``"backends"`` list records what actually ran, so a numpy-less
+    environment produces an honestly-labelled object-only entry rather
+    than a silently identical "soa" column.
+    """
+    if backends is None:
+        backends = ("object", "soa") if numpy_available() else ("object",)
+    rates: Dict[str, Dict[str, int]] = {}
+    for policy in policies:
+        rates[policy] = {}
+        for backend in backends:
+            system = SystemConfig.scaled().probe_free().with_tag_backend(backend)
+            rates[policy][backend] = round(
+                measure_throughput(
+                    system,
+                    policy,
+                    workload_name=workload,
+                    refs_per_core=refs_per_core,
+                    reps=reps,
+                    seed=seed,
+                )
+            )
+    entry = {
+        "timestamp": time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),
+        "workload": workload,
+        "refs_per_core": refs_per_core,
+        "reps": reps,
+        "seed": seed,
+        "backends": list(backends),
+        "numpy_available": numpy_available(),
+        "accesses_per_sec": rates,
+    }
+    if "object" in backends and "soa" in backends:
+        entry["speedup_soa_vs_object"] = {
+            policy: round(rates[policy]["soa"] / rates[policy]["object"], 2)
+            for policy in policies
+        }
+    return entry
+
+
+def load_bench_file(path: Union[str, Path]) -> dict:
+    """Read ``BENCH_hotpath.json`` in schema-2 form (migrating v1)."""
+    path = Path(path)
+    if not path.exists():
+        return {"schema": 2, "entries": []}
+    data = json.loads(path.read_text())
+    if "entries" not in data:
+        # Version-1 flat record: preserve it under "legacy".
+        data = {"schema": 2, "legacy": data, "entries": []}
+    data.setdefault("schema", 2)
+    return data
+
+
+def append_entry(path: Union[str, Path], entry: dict) -> dict:
+    """Append one bench entry to ``path`` and return the full document."""
+    path = Path(path)
+    data = load_bench_file(path)
+    data["entries"].append(entry)
+    path.write_text(json.dumps(data, indent=2, sort_keys=True) + "\n")
+    return data
+
+
+def entry_rows(entry: dict) -> List[list]:
+    """Flatten one entry into (policy, backend..., speedup) table rows."""
+    backends = entry["backends"]
+    rows = []
+    for policy, rates in sorted(entry["accesses_per_sec"].items()):
+        row: List[object] = [policy]
+        row += [rates.get(b, "-") for b in backends]
+        speed = entry.get("speedup_soa_vs_object", {}).get(policy)
+        row.append(f"{speed:.2f}x" if speed is not None else "-")
+        rows.append(row)
+    return rows

@@ -1,8 +1,13 @@
 """One set of a set-associative cache.
 
-A :class:`CacheSet` owns its ways (pre-allocated
-:class:`~repro.cache.block.CacheBlock` objects) and a tag→block map for
-O(1) lookups. Hybrid LLCs partition the ways of *every* set between an
+A :class:`CacheSet` owns its ways and a tag→block map for O(1)
+lookups. The ways are block-protocol objects supplied by the cache's
+:class:`~repro.kernel.base.TagStore` backend: pre-allocated
+:class:`~repro.cache.block.CacheBlock` objects under the ``"object"``
+backend, :class:`~repro.kernel.soa.SoABlockView` proxies over numpy
+matrices under ``"soa"``. Everything in this class goes through the
+shared protocol, so set semantics are backend-independent by
+construction. Hybrid LLCs partition the ways of *every* set between an
 SRAM region and an STT-RAM region (Table II: 4 SRAM ways + 12 STT-RAM
 ways), so region filtering happens here.
 
@@ -25,9 +30,17 @@ class CacheSet:
 
     __slots__ = ("index", "blocks", "tag_map", "loop_count")
 
-    def __init__(self, index: int, ways: int, way_techs: List[str]) -> None:
+    def __init__(
+        self,
+        index: int,
+        ways: int,
+        way_techs: List[str],
+        blocks: Optional[List[CacheBlock]] = None,
+    ) -> None:
         self.index = index
-        self.blocks: List[CacheBlock] = [CacheBlock(w, way_techs[w]) for w in range(ways)]
+        if blocks is None:
+            blocks = [CacheBlock(w, way_techs[w]) for w in range(ways)]
+        self.blocks: List[CacheBlock] = blocks
         for block in self.blocks:
             block.cset = self
         self.tag_map: Dict[int, CacheBlock] = {}

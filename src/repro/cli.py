@@ -106,6 +106,11 @@ def _add_system_args(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--refs", type=int, default=20_000,
                         help="memory references per core (default: 20000)")
     parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--tag-backend", choices=("auto", "object", "soa"),
+                        default="auto",
+                        help="tag-store layout: object (reference), soa "
+                        "(numpy struct-of-arrays + batched kernel), or auto "
+                        "(soa when the run qualifies; default)")
 
 
 def _system_from(args: argparse.Namespace) -> SystemConfig:
@@ -120,6 +125,7 @@ def _system_from(args: argparse.Namespace) -> SystemConfig:
         hybrid=args.hybrid,
         llc_kb=args.llc_kb,
         l2_kb=args.l2_kb,
+        tag_backend=getattr(args, "tag_backend", "auto"),
     )
 
 
@@ -435,6 +441,7 @@ def _cmd_check(args: argparse.Namespace) -> int:
         coherence=args.coherence,
         interval=args.interval,
         progress=(None if args.quiet else lambda m: print(f"  {m}", file=sys.stderr)),
+        tag_backend=args.tag_backend,
     )
     print(render_table(
         f"invariant checks ({len(policies)} policies, coherence={args.coherence}"
@@ -453,6 +460,48 @@ def _cmd_check(args: argparse.Namespace) -> int:
         print(f"\nreproduction for {failure.case.describe()}:", file=sys.stderr)
         print(failure.repro_snippet(), file=sys.stderr)
     return 1
+
+
+# ----------------------------------------------------------------------
+# bench: hot-path throughput across tag-store backends
+# ----------------------------------------------------------------------
+def _cmd_bench(args: argparse.Namespace) -> int:
+    from .bench import BENCH_POLICIES, append_entry, entry_rows, run_hotpath_bench
+    from .kernel import numpy_available
+
+    policies = tuple(args.policy) if args.policy else BENCH_POLICIES
+    if args.backend:
+        backends = tuple(args.backend)
+    else:
+        backends = ("object", "soa") if numpy_available() else ("object",)
+    if not args.quiet:
+        print(
+            f"  benchmarking {len(policies)} policies x {len(backends)} "
+            f"backends ({args.refs} refs/core, best of {args.reps})",
+            file=sys.stderr,
+        )
+    entry = run_hotpath_bench(
+        policies,
+        backends,
+        workload=args.workload,
+        refs_per_core=args.refs,
+        reps=args.reps,
+        seed=args.seed,
+    )
+    if args.out != "-":
+        append_entry(args.out, entry)
+    if args.json:
+        print(json.dumps(entry, indent=2, sort_keys=True))
+    else:
+        print(render_table(
+            f"hotpath accesses/sec ({entry['workload']}, probe-free, "
+            f"{entry['timestamp']})",
+            ["policy", *backends, "soa/object"],
+            entry_rows(entry),
+        ))
+        if args.out != "-":
+            print(f"\nappended to {args.out}")
+    return 0
 
 
 # ----------------------------------------------------------------------
@@ -666,9 +715,39 @@ def build_parser() -> argparse.ArgumentParser:
                    help="which coherence modes to exercise (default: both)")
     p.add_argument("--interval", type=int, default=64,
                    help="invariant re-check period in references (default: 64)")
+    p.add_argument("--tag-backend", choices=("object", "soa"), default=None,
+                   help="pin every stage's tag-store layout (default: the "
+                   "REPRO_TAG_BACKEND env var, then object)")
     p.add_argument("--quiet", action="store_true",
                    help="suppress per-stage progress on stderr")
     p.set_defaults(fn=_cmd_check)
+
+    p = sub.add_parser(
+        "bench",
+        help="measure hot-path throughput per tag-store backend and "
+        "append the entry to BENCH_hotpath.json",
+    )
+    p.add_argument("--policy", action="append", default=None, metavar="NAME",
+                   help="policy to bench (repeatable; default: the "
+                   "kernel-eligible trio non-inclusive/exclusive/lap)")
+    p.add_argument("--backend", action="append", default=None,
+                   choices=("object", "soa"),
+                   help="tag-store backend to bench (repeatable; default: "
+                   "both when numpy is importable, object otherwise)")
+    p.add_argument("--workload", default="WL1",
+                   help="workload name (default: WL1)")
+    p.add_argument("--refs", type=int, default=30_000,
+                   help="references per core per rep (default: 30000)")
+    p.add_argument("--reps", type=int, default=5,
+                   help="reps per cell, best-of (default: 5)")
+    p.add_argument("--seed", type=int, default=7)
+    p.add_argument("--out", default="BENCH_hotpath.json", metavar="PATH",
+                   help="bench history file to append to "
+                   "(default: BENCH_hotpath.json; '-' skips the write)")
+    p.add_argument("--json", action="store_true", help="machine-readable entry")
+    p.add_argument("--quiet", action="store_true",
+                   help="suppress progress on stderr")
+    p.set_defaults(fn=_cmd_bench)
 
     from .serve.protocol import DEFAULT_PORT
 

@@ -1,0 +1,812 @@
+"""Batched probe-free reference loop over checked-out SoA tag stores.
+
+The generic access path (:meth:`CacheHierarchy.access`) walks ~35
+Python calls per reference: clean layering, but ~9 microseconds per
+access. This module is the same semantics with the layers flattened
+into one loop, for the configurations where nothing can observe the
+difference:
+
+- every cache uses the ``"soa"`` tag store (checkout/checkin),
+- the probe bus is empty (no instrumentation to dispatch),
+- coherence is off (no MOESI states, no snoops, no peer supplies),
+- the inclusion policy is one the kernel inlines: non-inclusive,
+  exclusive, or LAP over an LRU baseline (all three replacement modes).
+
+Everything else falls back to the generic loop, which remains
+bit-identical across backends by construction (same code, same block
+protocol). The kernel is *required* to be bit-identical too — same
+stats, same timing floats, same final tag-array state — and the parity
+suite (``tests/test_tagstore_parity.py``) holds it to that.
+
+How it stays exact: the per-access op sequence below is a line-by-line
+transcription of ``hierarchy.access`` + the policy flows, preserving
+
+- tick sequencing (a cache's ``_tick`` advances only on lookup-hit,
+  insert, fill, and update — in the same order);
+- stat increment sites (every counter the generic path touches, and
+  only those);
+- Fig. 15 write-class categories including the insert-or-update merge
+  cases;
+- timing-model float arithmetic (same expressions in the same order,
+  so bank-contention floats match bit-for-bit);
+- per-set loop-counter and tag-map discipline.
+
+The speed comes from four reductions of per-reference Python work:
+
+- **flat maps** — tag lookups key one dict per cache on the *block
+  number* (``addr >> offset_bits``). Because ``tag_shift = offset_bits
+  + index_bits``, ``(set, tag) <-> block`` is a bijection at every
+  level, so one ``dict.get`` replaces the per-set two-level lookup and
+  the same block number keys L1, L2, and LLC alike. Per-set maps are
+  rebuilt once at checkin.
+- **one interleaved stream** — per batch, addresses are sliced with a
+  handful of whole-matrix numpy ops, transposed into reference order
+  (core-minor, matching the generic round-robin), and iterated with a
+  single ``zip``; the scalar loop never double-indexes ``[core][i]``.
+- **derived stats** — counters that move in lockstep with a path
+  (lookups, hit/read splits, fill writes at L1/L2, demand counts) are
+  reconstructed after the run from the few data-dependent ones, so the
+  hot loop only counts what it must.
+- **precomputed L1 stamps** — the L1 tick advances exactly once per
+  reference (hit or fill), so its stamps are a numpy arange per batch.
+
+Set-dueling (LAP) is inlined the same way: static leader roles are
+precomputed per set, and the tick/record/decide state machine runs on
+local ints that are written back to the controller at the end.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+import numpy as np
+
+from ..core.lap import LAPPolicy
+from ..inclusion.traditional import ExclusivePolicy, NonInclusivePolicy
+
+MODE_NONI = 0
+MODE_EX = 1
+MODE_LAP = 2
+
+_LAP_REPL = {"lru": 0, "loop": 1, "duel": 2}
+
+#: loop-aware victim masking sentinel — larger than any tick stamp.
+_BIG = 1 << 62
+
+
+def kernel_mode(policy) -> Optional[int]:
+    """The kernel's inlined flow for ``policy``, or None if unsupported.
+
+    Exact-type checks on purpose: subclasses (dead-write bypass,
+    Lhybrid) override hooks the kernel does not call.
+    """
+    t = type(policy)
+    if t is NonInclusivePolicy:
+        return MODE_NONI
+    if t is ExclusivePolicy:
+        return MODE_EX
+    if t is LAPPolicy and policy.baseline == "lru":
+        return MODE_LAP
+    return None
+
+
+def eligible(hierarchy) -> bool:
+    """Whether the batched kernel can run this hierarchy verbatim."""
+    return (
+        hierarchy.llc.store.supports_batch
+        and all(c.store.supports_batch for c in hierarchy.l1s)
+        and all(c.store.supports_batch for c in hierarchy.l2s)
+        and hierarchy.coherence is None
+        and not hierarchy.probe_bus.probes
+        and kernel_mode(hierarchy.policy) is not None
+    )
+
+
+def _flatten_maps(per_set_maps, idx_bits) -> dict:
+    """Per-set ``{tag: slot}`` dicts -> one ``{block: slot}`` dict."""
+    flat = {}
+    for si, m in enumerate(per_set_maps):
+        for t, slot in m.items():
+            flat[(t << idx_bits) | si] = slot
+    return flat
+
+
+def _unflatten_maps(flat, num_sets, mask, idx_bits) -> list:
+    """Inverse of :func:`_flatten_maps`, for checkin."""
+    maps = [{} for _ in range(num_sets)]
+    for key, slot in flat.items():
+        maps[key & mask][key >> idx_bits] = slot
+    return maps
+
+
+def _blk_shadow(flat, nslots) -> list:
+    """Slot -> block-number shadow, valid slots only.
+
+    Lets evictions read the victim's flat-map key directly instead of
+    re-deriving ``(tag << idx_bits) | set`` on every replacement. Only
+    consulted while the slot is valid, so stale entries after an
+    invalidation are harmless.
+    """
+    bl = [0] * nslots
+    for b, slot in flat.items():
+        bl[slot] = b
+    return bl
+
+
+def run_kernel(sim, refs_per_core: int, batch: int) -> List[float]:
+    """Drive ``sim``'s hierarchy through the flattened loop.
+
+    Mirrors :meth:`Simulator.run`'s batch structure (same generator
+    calls in the same order) and returns the per-core instruction
+    counts; the caller finishes and collects as usual.
+    """
+    h = sim.hierarchy
+    policy = h.policy
+    mode = kernel_mode(policy)
+    if mode is None or not eligible(h):  # pragma: no cover - guarded by caller
+        raise RuntimeError("batch kernel invoked on an ineligible hierarchy")
+
+    timing = h.timing
+    gens = sim.workload.generators
+    ncores = len(gens)
+    llc = h.llc
+
+    # ---- address-slicing constants -----------------------------------
+    off = llc._offset_bits
+    l1_mask = h.l1s[0]._index_mask
+    l1_idx_bits = h.l1s[0]._index_bits
+    l2_mask = h.l2s[0]._index_mask
+    l2_idx_bits = h.l2s[0]._index_bits
+    llc_mask = llc._index_mask
+    llc_idx_bits = llc._index_bits
+    bank_mask = llc._bank_mask
+    l1_assoc = h.l1s[0].assoc
+    l2_assoc = h.l2s[0].assoc
+    llc_assoc = llc.assoc
+    # Unrolled victim scans for the stock associativities (first-win
+    # strict-< keeps exactly the ``index(min(...))`` tie-breaking).
+    u4 = l1_assoc == 4
+    u8 = l2_assoc == 8
+
+    # ---- timing constants (same expressions as TimingModel) ----------
+    l2_lat = timing.l2_latency
+    l2_lat_f = float(l2_lat)
+    mem_stall = (timing.l2_latency + timing.llc_read_latency + timing.mem_latency) * (
+        timing.mlp_exposure
+    )
+    cc = timing.core_cycles  # mutated in place
+    busy = timing.banks.busy_until  # mutated in place
+    read_stall = 0.0
+    write_stall = 0.0
+
+    # Per-LLC-slot service latencies / technology (hybrid-aware).
+    slot_techs = llc.store.way_techs * llc.num_sets
+    r_serv = [
+        timing.sram_read_latency if t == "sram" else timing.llc_read_latency
+        for t in slot_techs
+    ]
+    w_serv = [
+        timing.sram_write_latency if t == "sram" else timing.llc_write_latency
+        for t in slot_techs
+    ]
+    slot_sram = [t == "sram" for t in slot_techs]
+    # _finish_insert charges the write against the landed region for
+    # hybrid LLCs and against llc.tech for homogeneous ones — same
+    # value either way here, so slot tech serves both.
+
+    # ---- checkout ----------------------------------------------------
+    l1_st = [c.store.checkout() for c in h.l1s]
+    l2_st = [c.store.checkout() for c in h.l2s]
+    ll_st = llc.store.checkout()
+
+    l1_tag = [s["tag"] for s in l1_st]
+    l1_val = [s["valid"] for s in l1_st]
+    l1_dir = [s["dirty"] for s in l1_st]
+    l1_last = [s["last"] for s in l1_st]
+    l1_iseq = [s["iseq"] for s in l1_st]
+    l2_tag = [s["tag"] for s in l2_st]
+    l2_val = [s["valid"] for s in l2_st]
+    l2_dir = [s["dirty"] for s in l2_st]
+    l2_loop = [s["loop"] for s in l2_st]
+    l2_last = [s["last"] for s in l2_st]
+    l2_iseq = [s["iseq"] for s in l2_st]
+    l2_lc = [s["loop_counts"] for s in l2_st]
+    ll_tag = ll_st["tag"]
+    ll_val = ll_st["valid"]
+    ll_dir = ll_st["dirty"]
+    ll_loop = ll_st["loop"]
+    ll_last = ll_st["last"]
+    ll_iseq = ll_st["iseq"]
+    ll_lc = ll_st["loop_counts"]
+
+    # Flat block-number-keyed maps (see module docstring).
+    m1_flat = [_flatten_maps(s["maps"], l1_idx_bits) for s in l1_st]
+    m2_flat = [_flatten_maps(s["maps"], l2_idx_bits) for s in l2_st]
+    ll_flat = _flatten_maps(ll_st["maps"], llc_idx_bits)
+    l1_bn = [_blk_shadow(m1_flat[c], len(l1_tag[c])) for c in range(ncores)]
+    l2_bn = [_blk_shadow(m2_flat[c], len(l2_tag[c])) for c in range(ncores)]
+    ll_bn = _blk_shadow(ll_flat, len(ll_tag))
+
+    l1_tick = [c._tick for c in h.l1s]
+    l2_tick = [c._tick for c in h.l2s]
+    ll_tick = llc._tick
+
+    # ---- local stat accumulators (data-dependent only; the rest is
+    # derived after the run) -------------------------------------------
+    z = [0] * ncores
+    l1_mis, wh1, l1_ev, l1_dev, l1_inv = list(z), list(z), list(z), list(z), list(z)
+    l2_mis, l2_ev, l2_dev = list(z), list(z), list(z)
+    ll_mis = ll_tp = 0
+    ll_drs = ll_drt = ll_dws = ll_dwt = 0
+    ll_ins = ll_ev = ll_dev = ll_inv = 0
+    ll_fillw = ll_cleanw = ll_dirtyw = ll_updw = ll_hitinv = 0
+    accesses = stores = 0
+    l2_cv = l2_dv = 0
+    mem_writes = 0
+
+    # ---- policy selection & inlined set-dueling ----------------------
+    noni = mode == MODE_NONI
+    exm = mode == MODE_EX
+    lap = mode == MODE_LAP
+    lap_repl = _LAP_REPL[policy.replacement_mode] if lap else 0
+    lap_loop_mode = lap and lap_repl == 1
+    lap_duel_mode = lap and lap_repl == 2
+    dueling = policy.dueling if lap else None
+    duel_on = dueling is not None
+    if duel_on:
+        roles = [dueling.role(s) for s in range(llc.num_sets)]
+        duel_degen = dueling.degenerate
+        duel_interval = dueling.interval
+        duel_acc = dueling._accesses
+        duel_winner = dueling.winner
+        winner_fn = dueling.winner_fn
+        la_miss = dueling.stats.leader_a_misses
+        lb_miss = dueling.stats.leader_b_misses
+        duel_wa = dueling._write_a
+        duel_wb = dueling._write_b
+        dec_a = dueling.stats.decisions_a
+        dec_b = dueling.stats.decisions_b
+        duel_ivals = dueling.stats.intervals
+    else:
+        roles = []
+        duel_degen = True
+        duel_interval = duel_acc = duel_winner = 0
+        winner_fn = None
+        la_miss = lb_miss = duel_wa = duel_wb = 0
+        dec_a = dec_b = duel_ivals = 0
+
+    # The LLC insert and update flows are inlined at their call sites
+    # below (no closures: keeping every hot variable a plain local is
+    # measurably faster than closure-cell access, and the insert runs
+    # up to once per reference on miss-heavy workloads). Victim scans
+    # use C-level min/index: invalid ways carry stamp 0 (reset zeroes
+    # it) while valid ways carry >= 1 (ticks pre-increment), so the
+    # minimum stamp is the first invalid way when one exists and the
+    # oldest line otherwise, with ties breaking to the lowest way —
+    # exactly LRUPolicy's first-win scan.
+
+    # Per-core objects repeated in reference order, so the scalar loop
+    # unpacks them from one zip instead of double-indexing.
+    core_pat = list(range(ncores))
+    m1_pat = [m1_flat[c] for c in core_pat]
+    m2_pat = [m2_flat[c] for c in core_pat]
+    last1_pat = [l1_last[c] for c in core_pat]
+    dir1_pat = [l1_dir[c] for c in core_pat]
+    # Everything else the (less frequent) L1-miss path touches, bundled
+    # per core so one tuple unpack replaces ~20 ``[core]`` indexings.
+    ctx_pat = [
+        (
+            l2_tag[c],
+            l2_val[c],
+            l2_last[c],
+            l2_dir[c],
+            l2_loop[c],
+            l2_iseq[c],
+            l2_lc[c],
+            l2_bn[c],
+            l1_tag[c],
+            l1_val[c],
+            l1_iseq[c],
+            l1_bn[c],
+        )
+        for c in core_pat
+    ]
+
+    core_instr = [0.0] * ncores
+    remaining = refs_per_core
+    while remaining > 0:
+        take = min(batch, remaining)
+        batches = [gen.batch(take) for gen in gens]
+        # Vectorized per-batch slicing: stack to (ncores, take), one
+        # vector op per field, transpose into reference order (i-major,
+        # core-minor — the generic round-robin), then plain lists.
+        addrs = np.stack([b[0] for b in batches]).astype(np.int64)
+        writes = np.stack([b[1] for b in batches])
+        blk2 = addrs >> off
+        blk_f = blk2.T.ravel().tolist()
+        wr_f = writes.T.ravel().tolist()
+        accesses += take * ncores
+        stores += int(writes.sum())
+        # L1 tick stamps: exactly one advance per reference.
+        tk2 = (
+            np.asarray(l1_tick, dtype=np.int64)[:, None]
+            + np.arange(1, take + 1, dtype=np.int64)[None, :]
+        )
+        tk_f = tk2.T.ravel().tolist()
+        for c in core_pat:
+            l1_tick[c] += take
+
+        cores_f = core_pat * take
+        m1_f = m1_pat * take
+        m2_f = m2_pat * take
+        last1_f = last1_pat * take
+        dir1_f = dir1_pat * take
+        ctx_f = ctx_pat * take
+
+        for core, w, blk, tk, m1, m2, last1, dir1, ctx in zip(
+            cores_f, wr_f, blk_f, tk_f, m1_f, m2_f, last1_f, dir1_f, ctx_f
+        ):
+            # ---- L1 lookup --------------------------------------
+            slot = m1.get(blk)
+            if slot is not None:
+                last1[slot] = tk
+                if w:
+                    wh1[core] += 1
+                    dir1[slot] = True
+                    # propagate_store: L2 copy exists (L1 ⊆ L2)
+                    ls = m2[blk]
+                    l2_dir[core][ls] = True
+                    if l2_loop[core][ls]:
+                        l2_lc[core][blk & l2_mask] -= 1
+                        l2_loop[core][ls] = False
+                continue
+            l1_mis[core] += 1
+            tags2, val2, last2, dir2, loop2, iseq2, lc2, bn2, tags1, v1, iseq1, bn1 = ctx
+            # ---- L2 lookup (reads only; stores dirty via
+            # propagation) -----------------------------------------
+            ls = m2.get(blk)
+            if ls is not None:
+                t2k = l2_tick[core] + 1
+                l2_tick[core] = t2k
+                last2[ls] = t2k
+                cc[core] += l2_lat_f
+            else:
+                l2_mis[core] += 1
+                # ---- L2 miss: inlined policy.llc_access ---------
+                # ``ck`` shadows cc[core] for this whole demand block
+                # (same float ops in the same order, one store at the
+                # end); posted-write charges read it at the same points
+                # the generic path reads cc[core].
+                ck = cc[core]
+                si = blk & llc_mask
+                bk = blk & bank_mask
+                if duel_on and not duel_degen:
+                    # dueling.tick()
+                    duel_acc += 1
+                    if duel_acc >= duel_interval:
+                        duel_acc = 0
+                        duel_winner = winner_fn(la_miss, duel_wa, lb_miss, duel_wb)
+                        if duel_winner == 0:
+                            dec_a += 1
+                        else:
+                            dec_b += 1
+                        duel_ivals += 1
+                        la_miss //= 2
+                        lb_miss //= 2
+                        duel_wa //= 2
+                        duel_wb //= 2
+                s = ll_flat.get(blk)
+                out_dirty = False
+                if s is None:
+                    ll_mis += 1
+                    hit = False
+                    if duel_on:
+                        # dueling.record_miss(si)
+                        r = roles[si]
+                        if r == 0:
+                            la_miss += 1
+                        elif r == 1:
+                            lb_miss += 1
+                    if noni:
+                        # Fig. 1b: the miss fills the LLC too. The
+                        # just-missed line cannot be present, so
+                        # insert_or_update is a straight insert
+                        # (plain-LRU scan, clean, loop bit off).
+                        ll_tick += 1
+                        base = si * llc_assoc
+                        seg = ll_last[base : base + llc_assoc]
+                        s = base + seg.index(min(seg))
+                        if ll_val[s]:
+                            ll_ev += 1
+                            if ll_dir[s]:
+                                ll_dev += 1
+                                mem_writes += 1
+                            del ll_flat[ll_bn[s]]
+                            if ll_loop[s]:
+                                ll_lc[si] -= 1
+                        ll_tag[s] = blk >> llc_idx_bits
+                        ll_val[s] = True
+                        ll_dir[s] = False
+                        ll_loop[s] = False
+                        ll_last[s] = ll_tick
+                        ll_iseq[s] = ll_tick
+                        ll_flat[blk] = s
+                        ll_bn[s] = blk
+                        ll_ins += 1
+                        ll_tp += 1
+                        if slot_sram[s]:
+                            ll_dws += 1
+                        else:
+                            ll_dwt += 1
+                        ll_fillw += 1
+                        wnow = ck
+                        free = busy[bk]
+                        st = free - wnow
+                        if st < 0.0:
+                            st = 0.0
+                        busy[bk] = wnow + st + w_serv[s]
+                        write_stall += st
+                else:
+                    hit = True
+                    if slot_sram[s]:
+                        ll_drs += 1
+                    else:
+                        ll_drt += 1
+                    ll_tick += 1
+                    ll_last[s] = ll_tick
+                    # timing.llc_read
+                    rnow = ck + l2_lat
+                    serv = r_serv[s]
+                    free = busy[bk]
+                    st = free - rnow
+                    if st < 0.0:
+                        st = 0.0
+                    busy[bk] = rnow + st + serv
+                    read_stall += st
+                    ck += l2_lat + st + serv
+                    if exm:
+                        # invalidate-on-hit; dirtiness moves up
+                        out_dirty = ll_dir[s]
+                        ll_tp += 1
+                        del ll_flat[blk]
+                        if ll_loop[s]:
+                            ll_lc[si] -= 1
+                        ll_tag[s] = -1
+                        ll_val[s] = False
+                        ll_dir[s] = False
+                        ll_loop[s] = False
+                        ll_last[s] = 0
+                        ll_iseq[s] = 0
+                        ll_inv += 1
+                        ll_hitinv += 1
+                if not hit:
+                    ck += mem_stall
+                # ---- _fill_l2 -----------------------------------
+                s2 = blk & l2_mask
+                fl_loop = lap and hit  # l2_fill_loop_bit
+                t2k = l2_tick[core] + 1
+                l2_tick[core] = t2k
+                base2 = s2 * l2_assoc
+                if u8:
+                    vs = base2
+                    m = last2[vs]
+                    j = base2 + 1
+                    v = last2[j]
+                    if v < m: m = v; vs = j
+                    j = base2 + 2
+                    v = last2[j]
+                    if v < m: m = v; vs = j
+                    j = base2 + 3
+                    v = last2[j]
+                    if v < m: m = v; vs = j
+                    j = base2 + 4
+                    v = last2[j]
+                    if v < m: m = v; vs = j
+                    j = base2 + 5
+                    v = last2[j]
+                    if v < m: m = v; vs = j
+                    j = base2 + 6
+                    v = last2[j]
+                    if v < m: m = v; vs = j
+                    j = base2 + 7
+                    v = last2[j]
+                    if v < m: vs = j
+                else:
+                    seg = last2[base2 : base2 + l2_assoc]
+                    vs = base2 + seg.index(min(seg))
+                if val2[vs]:
+                    ev_blk = bn2[vs]
+                    ev_dirty = dir2[vs]
+                    ev_loop = loop2[vs]
+                    l2_ev[core] += 1
+                    if ev_dirty:
+                        l2_dev[core] += 1
+                    del m2[ev_blk]
+                    if ev_loop:
+                        lc2[s2] -= 1
+                else:
+                    ev_blk = -1
+                tags2[vs] = blk >> l2_idx_bits
+                val2[vs] = True
+                dir2[vs] = out_dirty
+                loop2[vs] = fl_loop
+                last2[vs] = t2k
+                iseq2[vs] = t2k
+                if fl_loop:
+                    lc2[s2] += 1
+                m2[blk] = vs
+                bn2[vs] = blk
+                ls = vs
+                if ev_blk != -1:
+                    # ---- _handle_l2_victim ----------------------
+                    # L1 ⊆ L2: kill the upper copy
+                    eslot = m1.pop(ev_blk, None)
+                    if eslot is not None:
+                        v1[eslot] = False
+                        tags1[eslot] = -1
+                        dir1[eslot] = False
+                        last1[eslot] = 0
+                        iseq1[eslot] = 0
+                        l1_inv[core] += 1
+                    if ev_dirty:
+                        l2_dv += 1
+                    else:
+                        l2_cv += 1
+                    # ---- policy.l2_victim -----------------------
+                    # One unified flow for the three modes. noni drops
+                    # clean victims; every other (mode, dirty, present)
+                    # combination updates the LLC copy or inserts:
+                    #   present+dirty        -> update(d=True) + updw,
+                    #     loop bit: ex keeps ev_loop, noni/LAP clear
+                    #   present+clean (ex)   -> update(d=False)+cleanw,
+                    #     loop bit := ev_loop
+                    #   present+clean (LAP)  -> Fig. 10b loop-bit
+                    #     refresh only, no write
+                    #   absent               -> insert(d=ev_dirty),
+                    #     loop bit: ex keeps, LAP clean keeps,
+                    #     dirty-merge clears; dirtyw/cleanw by d
+                    if ev_dirty or not noni:
+                        esi = ev_blk & llc_mask
+                        ebk = ev_blk & bank_mask
+                        if lap:
+                            ll_tp += 1  # llc.probe
+                        es = ll_flat.get(ev_blk)
+                        if es is not None:
+                            if ev_dirty or exm:
+                                # inline Cache.update + posted write
+                                if ev_dirty:
+                                    ll_dir[es] = True
+                                ll_tick += 1
+                                ll_last[es] = ll_tick
+                                ll_tp += 1
+                                if slot_sram[es]:
+                                    ll_dws += 1
+                                else:
+                                    ll_dwt += 1
+                                wnow = ck
+                                free = busy[ebk]
+                                st = free - wnow
+                                if st < 0.0:
+                                    st = 0.0
+                                busy[ebk] = wnow + st + w_serv[es]
+                                write_stall += st
+                                if ev_dirty:
+                                    ll_updw += 1
+                                else:
+                                    ll_cleanw += 1
+                            # loop-bit reconciliation on the copy
+                            nl = ev_loop if (exm or not ev_dirty) else False
+                            if nl != ll_loop[es]:
+                                ll_lc[esi] += 1 if nl else -1
+                                ll_loop[es] = nl
+                        else:
+                            # inline _place_and_insert + _finish_insert
+                            lb = ev_loop if (exm or not ev_dirty) else False
+                            if lap_loop_mode:
+                                loop_scan = True
+                            elif lap_duel_mode:
+                                r = roles[esi]
+                                loop_scan = (duel_winner if r is None else r) == 0
+                            else:
+                                loop_scan = False
+                            ll_tick += 1
+                            base = esi * llc_assoc
+                            seg = ll_last[base : base + llc_assoc]
+                            s = base + seg.index(min(seg))
+                            if loop_scan and ll_loop[s]:
+                                # The global-LRU winner is loop-marked:
+                                # redo the scan with loop-marked ways
+                                # masked to a sentinel. (When the plain
+                                # winner is unmarked it already IS the
+                                # min over unmarked ways, so this path
+                                # only runs when it would differ.)
+                                # Invalid ways have the bit clear, so
+                                # first-invalid still wins; all-loop
+                                # sets keep the plain-LRU winner.
+                                masked = [
+                                    _BIG if lbit else la
+                                    for la, lbit in zip(
+                                        seg, ll_loop[base : base + llc_assoc]
+                                    )
+                                ]
+                                m = min(masked)
+                                if m < _BIG:
+                                    s = base + masked.index(m)
+                            if ll_val[s]:
+                                ll_ev += 1
+                                if ll_dir[s]:
+                                    ll_dev += 1
+                                    mem_writes += 1
+                                del ll_flat[ll_bn[s]]
+                                if ll_loop[s]:
+                                    ll_lc[esi] -= 1
+                            ll_tag[s] = ev_blk >> llc_idx_bits
+                            ll_val[s] = True
+                            ll_dir[s] = ev_dirty
+                            ll_loop[s] = lb
+                            ll_last[s] = ll_tick
+                            ll_iseq[s] = ll_tick
+                            if lb:
+                                ll_lc[esi] += 1
+                            ll_flat[ev_blk] = s
+                            ll_bn[s] = ev_blk
+                            ll_ins += 1
+                            ll_tp += 1
+                            if slot_sram[s]:
+                                ll_dws += 1
+                            else:
+                                ll_dwt += 1
+                            if ev_dirty:
+                                ll_dirtyw += 1
+                            else:
+                                ll_cleanw += 1
+                            wnow = ck
+                            free = busy[ebk]
+                            st = free - wnow
+                            if st < 0.0:
+                                st = 0.0
+                            busy[ebk] = wnow + st + w_serv[s]
+                            write_stall += st
+                cc[core] = ck
+            # ---- l1.fill(addr, is_write) ------------------------
+            s1 = blk & l1_mask
+            base1 = s1 * l1_assoc
+            if u4:
+                vs = base1
+                m = last1[vs]
+                j = base1 + 1
+                v = last1[j]
+                if v < m: m = v; vs = j
+                j = base1 + 2
+                v = last1[j]
+                if v < m: m = v; vs = j
+                j = base1 + 3
+                v = last1[j]
+                if v < m: vs = j
+            else:
+                seg = last1[base1 : base1 + l1_assoc]
+                vs = base1 + seg.index(min(seg))
+            if v1[vs]:
+                l1_ev[core] += 1
+                if dir1[vs]:
+                    l1_dev[core] += 1
+                del m1[bn1[vs]]
+            tags1[vs] = blk >> l1_idx_bits
+            v1[vs] = True
+            dir1[vs] = w
+            last1[vs] = tk
+            iseq1[vs] = tk
+            m1[blk] = vs
+            bn1[vs] = blk
+            if w:
+                # propagate_store into the (just ensured) L2 copy:
+                # ``ls`` carries the slot from the hit/fill above.
+                dir2[ls] = True
+                if loop2[ls]:
+                    lc2[blk & l2_mask] -= 1
+                    loop2[ls] = False
+
+        for core, gen in enumerate(gens):
+            instrs = take * gen.instr_per_ref
+            core_instr[core] += instrs
+            cc[core] += instrs
+        remaining -= take
+
+    # ---- checkin: maps, state, ticks, stats --------------------------
+    for core in range(ncores):
+        l1_st[core]["maps"] = _unflatten_maps(
+            m1_flat[core], h.l1s[core].num_sets, l1_mask, l1_idx_bits
+        )
+        l2_st[core]["maps"] = _unflatten_maps(
+            m2_flat[core], h.l2s[core].num_sets, l2_mask, l2_idx_bits
+        )
+        h.l1s[core].store.checkin(l1_st[core])
+        h.l2s[core].store.checkin(l2_st[core])
+        h.l1s[core]._tick = l1_tick[core]
+        h.l2s[core]._tick = l2_tick[core]
+    ll_st["maps"] = _unflatten_maps(ll_flat, llc.num_sets, llc_mask, llc_idx_bits)
+    llc.store.checkin(ll_st)
+    llc._tick = ll_tick
+
+    if duel_on:
+        dueling._accesses = duel_acc
+        dueling.winner = duel_winner
+        dueling._write_a = duel_wa
+        dueling._write_b = duel_wb
+        dueling.stats.leader_a_misses = la_miss
+        dueling.stats.leader_b_misses = lb_miss
+        dueling.stats.decisions_a = dec_a
+        dueling.stats.decisions_b = dec_b
+        dueling.stats.intervals = duel_ivals
+
+    # ---- derived + accumulated stat flush ----------------------------
+    # Lockstep identities: every reference does one L1 lookup and, on a
+    # miss, exactly one L1 fill-insert; every L1 miss does one L2
+    # lookup and every L2 miss one fill-insert; every L2 eviction runs
+    # one upper-level probe; every L2 miss does one LLC lookup.
+    refs = refs_per_core
+    l1_hits_h = l2_hits_h = 0
+    for core in range(ncores):
+        mis1 = l1_mis[core]
+        hit1 = refs - mis1
+        wh = wh1[core]
+        l1_hits_h += hit1
+        s = h.l1s[core].stats
+        s.lookups += refs
+        s.hits += hit1
+        s.misses += mis1
+        s.tag_probes += refs + mis1 + l2_ev[core]
+        s.data_reads_sram += hit1 - wh
+        s.data_writes_sram += wh + mis1
+        s.insertions += mis1
+        s.evictions += l1_ev[core]
+        s.dirty_evictions += l1_dev[core]
+        s.invalidations += l1_inv[core]
+        mis2 = l2_mis[core]
+        hit2 = mis1 - mis2
+        l2_hits_h += hit2
+        s = h.l2s[core].stats
+        s.lookups += mis1
+        s.hits += hit2
+        s.misses += mis2
+        s.tag_probes += mis1 + mis2
+        s.data_reads_sram += hit2
+        s.data_writes_sram += mis2
+        s.insertions += mis2
+        s.evictions += l2_ev[core]
+        s.dirty_evictions += l2_dev[core]
+    ll_lkp = sum(l2_mis)
+    s = llc.stats
+    s.lookups += ll_lkp
+    s.hits += ll_lkp - ll_mis
+    s.misses += ll_mis
+    s.tag_probes += ll_lkp + ll_tp
+    s.data_reads_sram += ll_drs
+    s.data_reads_stt += ll_drt
+    s.data_writes_sram += ll_dws
+    s.data_writes_stt += ll_dwt
+    s.insertions += ll_ins
+    s.evictions += ll_ev
+    s.dirty_evictions += ll_dev
+    s.invalidations += ll_inv
+    s.fill_writes += ll_fillw
+    s.clean_victim_writes += ll_cleanw
+    s.dirty_victim_writes += ll_dirtyw
+    s.update_writes += ll_updw
+    s.hit_invalidations += ll_hitinv
+
+    hs = h.stats
+    hs.accesses += accesses
+    hs.stores += stores
+    hs.l1_hits += l1_hits_h
+    hs.l2_hits += l2_hits_h
+    hs.llc_demand_accesses += ll_lkp
+    hs.llc_demand_hits += ll_lkp - ll_mis
+    hs.l2_clean_victims += l2_cv
+    hs.l2_dirty_victims += l2_dv
+    hs.mem_reads += ll_mis
+    hs.mem_writes += mem_writes
+
+    timing.banks.read_stall_cycles += read_stall
+    timing.banks.write_stall_cycles += write_stall
+    return core_instr

@@ -1,0 +1,27 @@
+"""The reference TagStore: one Python object per way.
+
+This is the pre-refactor data layout, unchanged: each way is a
+:class:`~repro.cache.block.CacheBlock` with ``__slots__``, grouped into
+:class:`~repro.cache.set.CacheSet` objects that own the tag maps and
+loop counters. It exists as a named backend so the ``soa`` layout has a
+bit-identical baseline to differentially test against, and as the
+fallback wherever numpy is unavailable.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from ..cache.set import CacheSet
+from .base import TagStore
+
+
+class ObjectTagStore(TagStore):
+    """Array-of-structs layout: plain ``CacheBlock`` objects."""
+
+    kind = "object"
+    supports_batch = False
+
+    def __init__(self, num_sets: int, assoc: int, way_techs: Sequence[str]) -> None:
+        super().__init__(num_sets, assoc, way_techs)
+        self.sets = [CacheSet(i, assoc, self.way_techs) for i in range(num_sets)]

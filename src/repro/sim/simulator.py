@@ -19,6 +19,7 @@ from ..errors import SimulationError
 from ..hierarchy.hierarchy import CacheHierarchy
 from ..inclusion.base import InclusionPolicy
 from ..instr import Probe
+from ..kernel import numpy_available, resolve_backend
 from ..workloads.mixes import MULTITHREADED, Workload
 from .results import RunResult
 from .system import SystemConfig
@@ -60,13 +61,47 @@ class Simulator:
         # supplies one explicitly (tests, custom instrumentation).
         if probes is None:
             probes = system.probes()
+        #: when True (default), probe-free non-coherent runs on the soa
+        #: backend execute through the batched kernel; parity tests set
+        #: this False to force the generic loop over the same store.
+        self.enable_batch_kernel = True
+        self.tag_backend = self._resolve_backend(
+            system.tag_backend, policy, enable_coherence, probes
+        )
         self.hierarchy = CacheHierarchy(
             system.hierarchy,
             policy,
             enable_coherence=enable_coherence,
             occupancy_sample_interval=system.occupancy_sample_interval,
             probes=probes,
+            tag_backend=self.tag_backend,
         )
+
+    @staticmethod
+    def _resolve_backend(requested, policy, enable_coherence, probes) -> str:
+        """Resolve ``SystemConfig.tag_backend`` for this run.
+
+        ``"auto"`` picks soa exactly when the batched kernel would
+        engage (numpy present, no probes, no coherence, supported
+        policy) and object otherwise, so default runs either get the
+        full speedup or stay on the reference layout — never the
+        slower proxy-view middle ground. Explicit names (or the
+        ``REPRO_TAG_BACKEND`` override) are honoured as-is.
+        """
+        import os
+
+        from ..kernel import ENV_VAR
+
+        env = os.environ.get(ENV_VAR)
+        if env:
+            return resolve_backend(env)
+        if requested != "auto":
+            return resolve_backend(requested)
+        if not numpy_available() or probes or enable_coherence:
+            return "object"
+        from ..kernel.batch import kernel_mode
+
+        return "soa" if kernel_mode(policy) is not None else "object"
 
     def run(self, refs_per_core: int, batch: int = DEFAULT_BATCH) -> RunResult:
         """Simulate ``refs_per_core`` references on every core."""
@@ -74,6 +109,24 @@ class Simulator:
             raise SimulationError(f"refs_per_core must be positive, got {refs_per_core}")
         wall_start = time.perf_counter()
         h = self.hierarchy
+        core_instr = self._run_references(refs_per_core, batch)
+        h.finish()
+        self._report_metrics(time.perf_counter() - wall_start)
+        return self._collect(refs_per_core, core_instr)
+
+    def _run_references(self, refs_per_core: int, batch: int):
+        """Drive the references, through the batched kernel when possible.
+
+        Both flows produce identical stats and timing; the kernel is
+        purely a faster execution of the same reference stream (see
+        :mod:`repro.kernel.batch` for the eligibility conditions).
+        """
+        h = self.hierarchy
+        if self.enable_batch_kernel and h.llc.store.supports_batch:
+            from ..kernel import batch as _batch
+
+            if _batch.eligible(h) and _batch.kernel_mode(self.policy) is not None:
+                return _batch.run_kernel(self, refs_per_core, batch)
         timing = h.timing
         gens = self.workload.generators
         ncores = len(gens)
@@ -94,10 +147,7 @@ class Simulator:
                 core_instr[core] += instrs
                 timing.advance_instructions(core, instrs)
             remaining -= take
-
-        h.finish()
-        self._report_metrics(time.perf_counter() - wall_start)
-        return self._collect(refs_per_core, core_instr)
+        return core_instr
 
     def _report_metrics(self, wall_s: float) -> None:
         """Once-per-run roll-ups into the process metrics registry."""

@@ -78,8 +78,14 @@ def run_checks(
     coherence: str = "both",
     interval: int = 64,
     progress: Optional[Callable[[str], None]] = None,
+    tag_backend: Optional[str] = None,
 ) -> CheckReport:
-    """Run the full validation suite; see the module docstring."""
+    """Run the full validation suite; see the module docstring.
+
+    ``tag_backend`` pins every stage's tag-store layout (``"object"``
+    or ``"soa"``); ``None`` defers to the ``REPRO_TAG_BACKEND``
+    environment override and then the object default.
+    """
     report = CheckReport()
     say = progress or (lambda _msg: None)
     modes = _modes(coherence)
@@ -100,6 +106,7 @@ def run_checks(
                     ncores=ncores,
                     enable_coherence=coherent,
                     interval=interval,
+                    tag_backend=tag_backend,
                 )
             except InvariantViolation as exc:
                 report.entries.append(CheckEntry(label, False, str(exc)))
@@ -122,6 +129,7 @@ def run_checks(
                 ncores=ncores,
                 enable_coherence=coherent,
                 interval=interval,
+                tag_backend=tag_backend,
             )
         except InvariantViolation as exc:
             report.entries.append(CheckEntry(label, False, str(exc)))
@@ -150,6 +158,7 @@ def run_checks(
             policies,
             base_seed=seed,
             coherence_modes=coherence_modes,
+            tag_backend=tag_backend,
         )
         report.fuzz_failures = failures
         if failures:
