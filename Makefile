@@ -4,7 +4,7 @@
 PYTHON ?= python
 PYTHONPATH := src
 
-.PHONY: test check bench bench-figures lint trace-demo serve-demo
+.PHONY: test check bench bench-figures lint trace-demo serve-demo report
 
 test:
 	PYTHONPATH=$(PYTHONPATH) $(PYTHON) -m pytest -x -q
@@ -18,6 +18,20 @@ check:
 # entry to BENCH_hotpath.json (DESIGN.md §13).
 bench:
 	PYTHONPATH=$(PYTHONPATH) $(PYTHON) -m repro bench
+
+# The HTML fleet dashboard (DESIGN.md §14) over a result-cache dir:
+# runs a tiny traced sweep into CACHE_DIR when it is empty, then
+# renders policy grids, span hot spots, provenance, and the bench
+# trend into report.html. Override CACHE_DIR/REPORT to point elsewhere.
+CACHE_DIR ?= .repro-cache
+REPORT ?= report.html
+report:
+	PYTHONPATH=$(PYTHONPATH) $(PYTHON) -m repro --cache-dir $(CACHE_DIR) \
+		--spans $(CACHE_DIR)/spans.jsonl sweep \
+		--workloads WL1,WH1 --policies non-inclusive,lap --refs 2000
+	PYTHONPATH=$(PYTHONPATH) $(PYTHON) -m repro report \
+		--cache-dir $(CACHE_DIR) --out $(REPORT) --check-refs 500
+	@echo "dashboard: $(REPORT)"
 
 # Regenerate every table & figure artefact via the pytest benchmarks.
 bench-figures:

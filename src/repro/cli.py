@@ -16,7 +16,11 @@ Commands
     Regenerate one of the paper's figures by id (e.g. ``fig14``).
 ``report``
     Assemble a markdown experiment record from the benchmark harness's
-    result files (``benchmarks/results``).
+    result files (``benchmarks/results``) — or, with ``--out`` /
+    ``--cache-dir``, render the self-contained HTML fleet dashboard
+    from one or more result-cache directories (``repro.obs``): policy
+    grids, throughput/latency histograms, invariant status, span hot
+    spots, and the bench trend with regression highlighting.
 ``validate-workloads``
     Re-measure every synthetic benchmark's declared traits.
 ``sweep``
@@ -45,13 +49,16 @@ Commands
 Every command accepts ``--refs``, ``--seed`` and system-shape flags so
 sweeps can be scripted from the shell; all output is plain ASCII.
 
-Three *global* options (they precede the subcommand) drive the
+Four *global* options (they precede the subcommand) drive the
 execution engine and telemetry: ``--jobs N`` fans grid commands out
 over N worker processes, ``--cache-dir PATH`` memoises every
 spec-described simulation in a content-addressed on-disk cache
-(``$REPRO_CACHE_DIR`` is honoured when the flag is absent), and
+(``$REPRO_CACHE_DIR`` is honoured when the flag is absent),
 ``--metrics PATH`` dumps the process metrics-registry snapshot to JSON
-after the command finishes, e.g.::
+after the command finishes, and ``--spans PATH`` turns on span tracing
+for the command and dumps the trace as JSONL (``$REPRO_SPANS`` enables
+tracing without a dump path; the exec pool then writes ``spans.jsonl``
+next to ``manifest.json``), e.g.::
 
     python -m repro --jobs 4 --cache-dir ~/.repro-cache sweep --workloads WL2,WH1
 """
@@ -235,6 +242,11 @@ def _cmd_figure(args: argparse.Namespace) -> int:
 
 
 def _cmd_report(args: argparse.Namespace) -> int:
+    # HTML fleet-dashboard mode only on an explicit ask (--out or a
+    # sub-level --cache-dir); the bare command keeps producing the
+    # legacy markdown record from benchmarks/results.
+    if getattr(args, "out", None) or getattr(args, "cache_dirs", None):
+        return _cmd_report_html(args)
     from .analysis.report import assemble_report, missing_results
 
     text = assemble_report(args.results_dir)
@@ -249,6 +261,75 @@ def _cmd_report(args: argparse.Namespace) -> int:
     if missing:
         print(f"\nnote: {len(missing)} experiments not yet regenerated: "
               f"{', '.join(missing)}", file=sys.stderr)
+    return 0
+
+
+def _cmd_report_html(args: argparse.Namespace) -> int:
+    """The ``repro.obs`` path: scan cache dirs, render the dashboard."""
+    import pathlib
+
+    from .bench import load_bench_file
+    from .obs.dashboard import render_dashboard
+    from .obs.ledger import scan_dirs
+
+    dirs = list(args.cache_dirs or ())
+    if not dirs:
+        cache = get_active_cache()
+        if cache is None:
+            raise ReproError(
+                "no result-cache directory to scan: pass --cache-dir "
+                "(repeatable) or set $REPRO_CACHE_DIR"
+            )
+        dirs = [str(cache.root)]
+    ledger = scan_dirs(dirs)
+    print(
+        f"scanned {len(dirs)} director{'y' if len(dirs) == 1 else 'ies'}: "
+        f"{len(ledger.rows)} job(s), {len(ledger.spans)} span(s), "
+        f"{len(ledger.problems)} problem(s)",
+        file=sys.stderr,
+    )
+
+    bench_doc = None
+    bench_path = pathlib.Path(args.bench)
+    if bench_path.exists():
+        bench_doc = load_bench_file(bench_path)
+
+    check_rows = None
+    if not args.no_check:
+        from .validate import run_checks
+
+        policies = sorted(
+            {r.policy for r in ledger.rows if r.policy != "?"}
+        ) or None
+        print(
+            f"running invariant checks ({args.check_refs} refs"
+            f"{', ' + str(len(policies)) + ' swept policies' if policies else ''})"
+            " ...",
+            file=sys.stderr,
+        )
+        if policies:
+            report = run_checks(
+                tuple(policies), refs=args.check_refs, coherence="off"
+            )
+        else:  # empty ledger: check the default policy set anyway
+            report = run_checks(refs=args.check_refs, coherence="off")
+        check_rows = [(e.name, e.ok, e.detail) for e in report.entries]
+
+    html = render_dashboard(
+        ledger,
+        bench_doc=bench_doc,
+        check_rows=check_rows,
+        regression_pct=args.regression_pct,
+    )
+    out = pathlib.Path(args.out or "report.html")
+    out.write_text(html)
+    print(f"dashboard written to {out} ({len(html)} bytes)")
+    if args.ledger:
+        pathlib.Path(args.ledger).write_text(ledger.to_json() + "\n")
+        print(f"ledger written to {args.ledger}")
+    if check_rows is not None and any(not ok for _, ok, _ in check_rows):
+        print("invariant checks FAILED (see dashboard)", file=sys.stderr)
+        return 1
     return 0
 
 
@@ -466,6 +547,8 @@ def _cmd_check(args: argparse.Namespace) -> int:
 # bench: hot-path throughput across tag-store backends
 # ----------------------------------------------------------------------
 def _cmd_bench(args: argparse.Namespace) -> int:
+    if args.action == "trend":
+        return _cmd_bench_trend(args)
     from .bench import BENCH_POLICIES, append_entry, entry_rows, run_hotpath_bench
     from .kernel import numpy_available
 
@@ -501,6 +584,59 @@ def _cmd_bench(args: argparse.Namespace) -> int:
         ))
         if args.out != "-":
             print(f"\nappended to {args.out}")
+    return 0
+
+
+def _cmd_bench_trend(args: argparse.Namespace) -> int:
+    """``repro bench trend``: per-(policy, backend) trajectory over the
+    bench history, latest vs best prior; ``--fail-on-regression PCT``
+    exits 1 when any cell decayed beyond the tolerance (the CI guard)."""
+    import pathlib
+
+    from .bench import load_bench_file
+    from .obs.trend import bench_trend, regressions, trend_rows
+
+    path = pathlib.Path(args.out)
+    if not path.exists():
+        raise ReproError(
+            f"no bench history at {path}; run `repro bench` first"
+        )
+    cells = bench_trend(load_bench_file(path))
+    threshold = args.fail_on_regression
+    if args.json:
+        print(json.dumps(
+            {
+                "file": str(path),
+                "threshold_pct": threshold,
+                "cells": [c.as_dict() for c in cells],
+                "regressions": [
+                    {"policy": c.policy, "backend": c.backend,
+                     "delta_pct": c.delta_pct}
+                    for c in (regressions(cells, threshold) if threshold else ())
+                ],
+            },
+            indent=2, sort_keys=True,
+        ))
+    else:
+        print(render_table(
+            f"bench trend over {path} ({len(cells)} cells, latest vs best prior)",
+            ["policy", "backend", "entries", "latest", "best prior", "delta"],
+            trend_rows(cells, threshold),
+        ))
+    if threshold is not None:
+        bad = regressions(cells, threshold)
+        if bad:
+            print(
+                f"\n{len(bad)} cell(s) regressed beyond {threshold:g}%:",
+                file=sys.stderr,
+            )
+            for c in bad:
+                print(
+                    f"  {c.policy}/{c.backend}: {c.delta_pct:+.1f}% "
+                    f"({c.latest:.0f} vs best {c.best_prior:.0f})",
+                    file=sys.stderr,
+                )
+            return 1
     return 0
 
 
@@ -640,6 +776,12 @@ def build_parser() -> argparse.ArgumentParser:
         help="write the process metrics-registry snapshot to PATH (JSON) "
         "after the command finishes",
     )
+    parser.add_argument(
+        "--spans", default=None, metavar="PATH",
+        help="enable span tracing for the command and dump the trace as "
+        "JSONL to PATH afterwards ($REPRO_SPANS enables tracing without "
+        "a dump path)",
+    )
     sub = parser.add_subparsers(dest="command", required=True)
 
     p = sub.add_parser("list", help="list policies, workloads, technologies")
@@ -668,9 +810,34 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--refs", type=int, default=10_000)
     p.set_defaults(fn=_cmd_figure)
 
-    p = sub.add_parser("report", help="assemble EXPERIMENTS-style markdown record")
+    p = sub.add_parser(
+        "report",
+        help="assemble the markdown experiment record, or (with --out / "
+        "--cache-dir) the self-contained HTML fleet dashboard",
+    )
     p.add_argument("--results-dir", default="benchmarks/results")
-    p.add_argument("--output", default=None, help="write to a file instead of stdout")
+    p.add_argument("--output", default=None,
+                   help="markdown mode: write to a file instead of stdout")
+    p.add_argument("--out", default=None, metavar="PATH",
+                   help="HTML mode: dashboard output path (default when "
+                   "--cache-dir is given: report.html)")
+    # Repeatable, distinct dest from the global --cache-dir: the HTML
+    # dashboard can merge several result-cache directories.
+    p.add_argument("--cache-dir", action="append", dest="cache_dirs",
+                   default=None, metavar="PATH",
+                   help="HTML mode: result-cache directory to scan "
+                   "(repeatable; default: the active cache)")
+    p.add_argument("--bench", default="BENCH_hotpath.json", metavar="PATH",
+                   help="bench history for the trend section "
+                   "(default: BENCH_hotpath.json; missing file = no section)")
+    p.add_argument("--ledger", default=None, metavar="PATH",
+                   help="also write the normalized run ledger as JSON")
+    p.add_argument("--no-check", action="store_true",
+                   help="skip the invariant-check section")
+    p.add_argument("--check-refs", type=int, default=500, metavar="N",
+                   help="references per invariant-check run (default: 500)")
+    p.add_argument("--regression-pct", type=float, default=10.0, metavar="PCT",
+                   help="bench-trend highlight tolerance (default: 10)")
     p.set_defaults(fn=_cmd_report)
 
     p = sub.add_parser("validate-workloads",
@@ -725,8 +892,18 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser(
         "bench",
         help="measure hot-path throughput per tag-store backend and "
-        "append the entry to BENCH_hotpath.json",
+        "append the entry to BENCH_hotpath.json; `bench trend` analyses "
+        "the accumulated history instead",
     )
+    p.add_argument("action", nargs="?", choices=("run", "trend"), default="run",
+                   help="run = measure and append (default); trend = "
+                   "per-cell trajectory over the history, latest vs "
+                   "best prior")
+    p.add_argument("--fail-on-regression", type=float, default=None,
+                   metavar="PCT",
+                   help="trend only: exit 1 when any (policy, backend) "
+                   "cell's latest rate sits more than PCT%% below its "
+                   "best prior value")
     p.add_argument("--policy", action="append", default=None, metavar="NAME",
                    help="policy to bench (repeatable; default: the "
                    "kernel-eligible trio non-inclusive/exclusive/lap)")
@@ -833,6 +1010,19 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
     try:
+        from .obs.spans import (
+            SpanRecorder,
+            install_recorder,
+            recorder_from_env,
+            uninstall_recorder,
+        )
+
+        spans_path = getattr(args, "spans", None)
+        if spans_path:
+            recorder = SpanRecorder()
+            install_recorder(recorder)
+        else:
+            recorder = recorder_from_env()
         cache = (
             ResultCache(args.cache_dir) if getattr(args, "cache_dir", None)
             else cache_from_env()
@@ -843,6 +1033,12 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         finally:
             if cache is not None:
                 set_active_cache(previous)
+            if recorder is not None:
+                if spans_path:
+                    recorder.dump(spans_path)
+                    print(f"span trace written to {spans_path} "
+                          f"({len(recorder)} spans)", file=sys.stderr)
+                uninstall_recorder()
             if getattr(args, "metrics", None):
                 from .telemetry import get_registry
 

@@ -48,6 +48,7 @@ import time
 from typing import Any, Callable, Dict, Iterator, List, Optional, Sequence, Tuple, Union
 
 from ..errors import ExecutionError, ReproError
+from ..obs.spans import current_recorder, span, tracing_enabled
 from ..sim.results import RunResult
 from ..telemetry.profiling import (
     SOURCE_CACHE,
@@ -219,49 +220,64 @@ def execute_jobs(
     profiles: List[Optional[JobProfile]] = [None] * len(jobs)
     pulse = Heartbeat(len(jobs), heartbeat_interval, emit=heartbeat_emit)
 
+    batch_span = span("exec.batch", jobs=len(jobs), max_workers=max_workers)
     misses: List[int] = []
     if cache is not None:
-        for i, job in enumerate(jobs):
-            lookup_start = time.perf_counter()
-            hit = cache.get(job)
-            if hit is not None:
-                results[i] = hit
-                profile = _profile_for(i, job, SOURCE_CACHE, hit)
-                profile.wall_s = time.perf_counter() - lookup_start
-                profiles[i] = profile
-            else:
-                misses.append(i)
+        with span("exec.cache_probe", jobs=len(jobs)) as probe_span:
+            for i, job in enumerate(jobs):
+                lookup_start = time.perf_counter()
+                hit = cache.get(job)
+                if hit is not None:
+                    results[i] = hit
+                    profile = _profile_for(i, job, SOURCE_CACHE, hit)
+                    profile.wall_s = time.perf_counter() - lookup_start
+                    profiles[i] = profile
+                else:
+                    misses.append(i)
+            probe_span.set(hits=len(jobs) - len(misses), misses=len(misses))
     else:
         misses = list(range(len(jobs)))
     cached_count = len(jobs) - len(misses)
 
     interrupted = False
-    if misses:
-        with _sigterm_as_interrupt():
-            try:
-                if max_workers > 1 and len(misses) > 1:
-                    _execute_pooled(
-                        jobs, misses, results, profiles, max_workers, timeout,
-                        retries, pulse, cached_count,
-                    )
-                else:
-                    for n, i in enumerate(misses):
-                        job_start = time.perf_counter()
-                        results[i], used = _run_with_retry(jobs[i], i, retries)
-                        profile = _profile_for(i, jobs[i], SOURCE_SERIAL, results[i])
-                        profile.wall_s = time.perf_counter() - job_start
-                        profile.retries = used
-                        profile.peak_rss_kb = peak_rss_kb()
-                        profiles[i] = profile
-                        pulse.beat(cached_count + n + 1, cached_count)
-            except KeyboardInterrupt:
-                # Graceful shutdown: keep everything that finished.
-                # (_execute_pooled has already cancelled its futures.)
-                interrupted = True
-        if cache is not None:
-            for i in misses:
-                if results[i] is not None:
-                    cache.put(jobs[i], results[i])
+    try:
+        if misses:
+            with _sigterm_as_interrupt():
+                try:
+                    if max_workers > 1 and len(misses) > 1:
+                        _execute_pooled(
+                            jobs, misses, results, profiles, max_workers, timeout,
+                            retries, pulse, cached_count,
+                        )
+                    else:
+                        for n, i in enumerate(misses):
+                            job_start = time.perf_counter()
+                            with span(
+                                "exec.job", index=i, policy=jobs[i].policy,
+                                workload=jobs[i].workload.label,
+                            ):
+                                results[i], used = _run_with_retry(
+                                    jobs[i], i, retries
+                                )
+                            profile = _profile_for(
+                                i, jobs[i], SOURCE_SERIAL, results[i]
+                            )
+                            profile.wall_s = time.perf_counter() - job_start
+                            profile.retries = used
+                            profile.peak_rss_kb = peak_rss_kb()
+                            profiles[i] = profile
+                            pulse.beat(cached_count + n + 1, cached_count)
+                except KeyboardInterrupt:
+                    # Graceful shutdown: keep everything that finished.
+                    # (_execute_pooled has already cancelled its futures.)
+                    interrupted = True
+            if cache is not None:
+                for i in misses:
+                    if results[i] is not None:
+                        cache.put(jobs[i], results[i])
+    except BaseException:
+        batch_span.finish("error")
+        raise
 
     completed = [
         i for i in range(len(jobs))
@@ -276,11 +292,23 @@ def execute_jobs(
         interrupted=interrupted,
         total_jobs=len(jobs),
     )
+    batch_span.set(
+        completed=len(completed), cache_hits=cached_count, interrupted=interrupted
+    )
+    batch_span.finish()
     _report_metrics(outcome)
     if jobs:
         pulse.final(len(completed), cached_count)
     if manifest_dir is not None:
         outcome.write_manifest(manifest_dir)
+        if tracing_enabled():
+            # The span dump rides next to the manifest so the ledger
+            # scanner finds both in one pass. Dumping the whole
+            # recorder (not a drained slice) means later batches in
+            # the same process supersede the file with a superset.
+            recorder = current_recorder()
+            if recorder is not None and len(recorder):
+                recorder.dump(pathlib.Path(manifest_dir))
     return outcome
 
 

@@ -63,6 +63,7 @@ import numpy as np
 
 from ..core.lap import LAPPolicy
 from ..inclusion.traditional import ExclusivePolicy, NonInclusivePolicy
+from ..obs.spans import start_span
 
 MODE_NONI = 0
 MODE_EX = 1
@@ -195,6 +196,10 @@ def run_kernel(sim, refs_per_core: int, batch: int) -> List[float]:
     # value either way here, so slot tech serves both.
 
     # ---- checkout ----------------------------------------------------
+    # Explicit-finish span handles (not ``with`` blocks): the three
+    # kernel phases are flat several-hundred-line regions and spans are
+    # per-phase, never per-reference, so the hot loop stays untouched.
+    checkout_span = start_span("kernel.checkout", ncores=ncores)
     l1_st = [c.store.checkout() for c in h.l1s]
     l2_st = [c.store.checkout() for c in h.l2s]
     ll_st = llc.store.checkout()
@@ -230,6 +235,7 @@ def run_kernel(sim, refs_per_core: int, batch: int) -> List[float]:
     l1_tick = [c._tick for c in h.l1s]
     l2_tick = [c._tick for c in h.l2s]
     ll_tick = llc._tick
+    checkout_span.finish()
 
     # ---- local stat accumulators (data-dependent only; the rest is
     # derived after the run) -------------------------------------------
@@ -313,6 +319,9 @@ def run_kernel(sim, refs_per_core: int, batch: int) -> List[float]:
     ]
 
     core_instr = [0.0] * ncores
+    loop_span = start_span(
+        "kernel.batch_loop", refs_per_core=refs_per_core, batch=batch
+    )
     remaining = refs_per_core
     while remaining > 0:
         take = min(batch, remaining)
@@ -711,8 +720,10 @@ def run_kernel(sim, refs_per_core: int, batch: int) -> List[float]:
             core_instr[core] += instrs
             cc[core] += instrs
         remaining -= take
+    loop_span.finish()
 
     # ---- checkin: maps, state, ticks, stats --------------------------
+    checkin_span = start_span("kernel.checkin", ncores=ncores)
     for core in range(ncores):
         l1_st[core]["maps"] = _unflatten_maps(
             m1_flat[core], h.l1s[core].num_sets, l1_mask, l1_idx_bits
@@ -809,4 +820,6 @@ def run_kernel(sim, refs_per_core: int, batch: int) -> List[float]:
 
     timing.banks.read_stall_cycles += read_stall
     timing.banks.write_stall_cycles += write_stall
+    checkin_span.set(accesses=accesses)
+    checkin_span.finish()
     return core_instr

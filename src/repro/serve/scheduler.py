@@ -21,6 +21,7 @@ from typing import Deque, Dict, List, Optional
 
 from ..errors import ServeError
 from ..exec.jobs import JobSpec
+from ..telemetry.metrics import get_registry
 from .protocol import STATE_QUEUED
 
 DEFAULT_QUEUE_LIMIT = 256
@@ -87,6 +88,7 @@ class FairScheduler:
             queue = self._queues[record.client] = collections.deque()
         queue.append(record)
         self._depth += 1
+        self._update_gauges()
         return True
 
     def pop(self) -> Optional[JobRecord]:
@@ -104,6 +106,17 @@ class FairScheduler:
                 record = queue.popleft()
                 if not queue:
                     del self._queues[client]
+                self._update_gauges()
                 return record
             del self._queues[client]  # empty queue left by a prior pop
         return None
+
+    def _update_gauges(self) -> None:
+        """Mirror queue state into the registry at every transition, so
+        ``/metrics`` (JSON or Prometheus) always shows the live depth
+        without the server having to remember to refresh it."""
+        registry = get_registry()
+        registry.gauge("serve.queue_depth").set(self._depth)
+        registry.gauge("serve.queue_clients").set(
+            sum(1 for q in self._queues.values() if q)
+        )

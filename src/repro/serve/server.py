@@ -34,14 +34,18 @@ import contextlib
 import json
 import threading
 import time
+import urllib.parse
 from dataclasses import dataclass, field
-from typing import Any, Dict, List, Optional, Tuple
+from typing import Any, Dict, List, Optional, Tuple, Union
 
 from ..errors import BackpressureError, ReproError, ServeError
 from ..exec.cache import ResultCache
 from ..exec.jobs import JobSpec
 from ..exec.pool import execute_jobs
 from ..exec.serialize import result_to_dict
+from ..obs.prom import CONTENT_TYPE as PROM_CONTENT_TYPE
+from ..obs.prom import render_prometheus
+from ..obs.spans import span
 from ..telemetry.metrics import get_registry
 from .protocol import (
     ERROR_BACKPRESSURE,
@@ -78,6 +82,19 @@ _REASONS = {
 #: Provenance value for jobs answered straight from the warm cache at
 #: submission time (never queued; distinct from a pool-run cache probe).
 SOURCE_WARM_CACHE = "cache"
+
+
+@dataclass
+class RawResponse:
+    """A non-JSON response body (the Prometheus exposition document).
+
+    ``_respond`` serialises everything else as JSON; routes return one
+    of these when the payload is already encoded and carries its own
+    content type.
+    """
+
+    body: bytes
+    content_type: str
 
 
 @dataclass
@@ -175,6 +192,12 @@ class ReproServer:
         self._inflight += 1
         self._update_gauges()
         start = time.perf_counter()
+        job_span = span(
+            "serve.execute",
+            job=record.id[:12],
+            policy=record.spec.policy,
+            client=record.client,
+        )
         try:
             outcome = await asyncio.to_thread(self._run_record, record)
         except ReproError as exc:
@@ -197,6 +220,8 @@ class ReproServer:
                 registry.counter("serve.failed").inc()
         finally:
             record.wall_s = time.perf_counter() - start
+            job_span.set(source=record.source, state=record.state)
+            job_span.finish("ok" if record.state == STATE_DONE else "error")
             registry.histogram("serve.job_wall_s").observe(record.wall_s)
             self._inflight -= 1
             self._update_gauges()
@@ -286,8 +311,9 @@ class ReproServer:
         return None if hit is None else result_to_dict(hit)
 
     def _update_gauges(self) -> None:
+        # Queue gauges (serve.queue_depth / serve.queue_clients) are
+        # maintained by the scheduler itself at every enqueue/pop.
         registry = get_registry()
-        registry.gauge("serve.queue_depth").set(self._scheduler.depth())
         registry.gauge("serve.inflight").set(self._inflight)
 
     # ------------------------------------------------------------------
@@ -298,14 +324,15 @@ class ReproServer:
     ) -> None:
         try:
             try:
-                method, path, body = await self._read_request(reader)
+                method, path, query, body = await self._read_request(reader)
             except ServeError as exc:
                 code = ERROR_TOO_LARGE if exc.status == 413 else ERROR_BAD_REQUEST
                 await self._respond(
                     writer, exc.status, error_payload(str(exc), error=code)
                 )
                 return
-            status, payload = self._dispatch(method, path, body)
+            with span("serve.request", method=method, path=path):
+                status, payload = self._dispatch(method, path, body, query)
             await self._respond(writer, status, payload)
         except (ConnectionError, asyncio.IncompleteReadError):
             pass  # client went away mid-request; nothing to answer
@@ -316,7 +343,7 @@ class ReproServer:
 
     async def _read_request(
         self, reader: asyncio.StreamReader
-    ) -> Tuple[str, str, bytes]:
+    ) -> Tuple[str, str, str, bytes]:
         line = await reader.readline()
         if not line:
             raise ConnectionError("empty request")
@@ -344,17 +371,22 @@ class ReproServer:
                 status=413,
             )
         body = await reader.readexactly(length) if length else b""
-        path = target.split("?", 1)[0]
-        return method, path, body
+        path, _, query = target.partition("?")
+        return method, path, query, body
 
     async def _respond(
-        self, writer: asyncio.StreamWriter, status: int, payload: Any
+        self, writer: asyncio.StreamWriter, status: int,
+        payload: Union[Any, RawResponse],
     ) -> None:
-        body = json.dumps(payload, sort_keys=True).encode("utf-8")
+        if isinstance(payload, RawResponse):
+            body, content_type = payload.body, payload.content_type
+        else:
+            body = json.dumps(payload, sort_keys=True).encode("utf-8")
+            content_type = "application/json"
         reason = _REASONS.get(status, "OK")
         head = (
             f"HTTP/1.1 {status} {reason}\r\n"
-            "Content-Type: application/json\r\n"
+            f"Content-Type: {content_type}\r\n"
             f"Content-Length: {len(body)}\r\n"
             "Connection: close\r\n\r\n"
         ).encode("latin-1")
@@ -364,7 +396,9 @@ class ReproServer:
     # ------------------------------------------------------------------
     # routes
     # ------------------------------------------------------------------
-    def _dispatch(self, method: str, path: str, body: bytes) -> Tuple[int, Any]:
+    def _dispatch(
+        self, method: str, path: str, body: bytes, query: str = ""
+    ) -> Tuple[int, Any]:
         if path == "/healthz":
             if method != "GET":
                 return 405, error_payload("use GET", error=ERROR_BAD_REQUEST)
@@ -372,6 +406,15 @@ class ReproServer:
         if path == "/metrics":
             if method != "GET":
                 return 405, error_payload("use GET", error=ERROR_BAD_REQUEST)
+            params = urllib.parse.parse_qs(query)
+            fmt = params.get("format", ["json"])[-1]
+            if fmt == "prom":
+                return 200, self._prometheus_response()
+            if fmt != "json":
+                return 400, error_payload(
+                    f"unknown metrics format {fmt!r} (use json or prom)",
+                    error=ERROR_BAD_REQUEST,
+                )
             return 200, self._metrics_payload()
         if path == "/jobs":
             if method == "POST":
@@ -473,6 +516,27 @@ class ReproServer:
             },
             "registry": get_registry().snapshot(),
         }
+
+    def _prometheus_response(self) -> RawResponse:
+        """``/metrics?format=prom``: the registry plus point-in-time
+        server facts (uptime, job states, queue bound) as extra gauges,
+        in Prometheus text-exposition 0.0.4."""
+        states = collections.Counter(r.state for r in self._records.values())
+        extra: Dict[str, float] = {
+            "serve.uptime_s": time.time() - self._started_s,
+            "serve.workers": self.config.workers,
+            "serve.queue_limit": self._scheduler.queue_limit,
+            "serve.jobs": len(self._records),
+        }
+        for state in (STATE_QUEUED, STATE_RUNNING, STATE_DONE, STATE_FAILED):
+            extra[f"serve.jobs_{state}"] = states.get(state, 0)
+        cache = self.config.cache
+        if cache is not None:
+            stats = cache.stats().as_dict()
+            for key, value in stats.items():
+                extra[f"serve.cache_{key}"] = value
+        text = render_prometheus(get_registry(), extra_gauges=extra)
+        return RawResponse(text.encode("utf-8"), PROM_CONTENT_TYPE)
 
 
 # ----------------------------------------------------------------------

@@ -20,6 +20,7 @@ from ..hierarchy.hierarchy import CacheHierarchy
 from ..inclusion.base import InclusionPolicy
 from ..instr import Probe
 from ..kernel import numpy_available, resolve_backend
+from ..obs.spans import span
 from ..workloads.mixes import MULTITHREADED, Workload
 from .results import RunResult
 from .system import SystemConfig
@@ -109,8 +110,15 @@ class Simulator:
             raise SimulationError(f"refs_per_core must be positive, got {refs_per_core}")
         wall_start = time.perf_counter()
         h = self.hierarchy
-        core_instr = self._run_references(refs_per_core, batch)
-        h.finish()
+        with span(
+            "simulate",
+            policy=self.policy.name,
+            workload=self.workload.name,
+            refs_per_core=refs_per_core,
+        ) as run_span:
+            core_instr = self._run_references(refs_per_core, batch)
+            h.finish()
+            run_span.set(accesses=h.stats.accesses)
         self._report_metrics(time.perf_counter() - wall_start)
         return self._collect(refs_per_core, core_instr)
 

@@ -57,32 +57,38 @@ OVERFLOW_LABEL = "inf"
 class Counter:
     """A monotonically increasing integer."""
 
-    __slots__ = ("name", "value")
+    __slots__ = ("name", "value", "_lock")
 
     def __init__(self, name: str) -> None:
         self.name = name
         self.value = 0
+        self._lock = threading.Lock()
 
     def inc(self, amount: int = 1) -> None:
         if amount < 0:
             raise TelemetryError(f"counter {self.name!r} cannot decrease (inc {amount})")
-        self.value += amount
+        # += is a read-modify-write, NOT atomic under the GIL; serve
+        # worker threads and the event loop inc the same counters.
+        with self._lock:
+            self.value += amount
 
 
 class Gauge:
     """A value that can move both ways (queue depth, cache bytes)."""
 
-    __slots__ = ("name", "value")
+    __slots__ = ("name", "value", "_lock")
 
     def __init__(self, name: str) -> None:
         self.name = name
         self.value = 0.0
+        self._lock = threading.Lock()
 
     def set(self, value: Number) -> None:
         self.value = float(value)
 
     def add(self, delta: Number) -> None:
-        self.value += float(delta)
+        with self._lock:
+            self.value += float(delta)
 
 
 class Histogram:
@@ -94,7 +100,7 @@ class Histogram:
     and max are tracked exactly alongside the buckets.
     """
 
-    __slots__ = ("name", "count", "total", "min", "max", "_buckets")
+    __slots__ = ("name", "count", "total", "min", "max", "_buckets", "_lock")
 
     def __init__(self, name: str) -> None:
         self.name = name
@@ -103,6 +109,7 @@ class Histogram:
         self.min: Optional[float] = None
         self.max: Optional[float] = None
         self._buckets: Dict[str, int] = {}
+        self._lock = threading.Lock()
 
     def observe(self, value: Number) -> None:
         value = float(value)
@@ -110,12 +117,16 @@ class Histogram:
             raise TelemetryError(
                 f"histogram {self.name!r} takes non-negative values, got {value}"
             )
-        self.count += 1
-        self.total += value
-        self.min = value if self.min is None else min(self.min, value)
-        self.max = value if self.max is None else max(self.max, value)
         label = self._label_for(value)
-        self._buckets[label] = self._buckets.get(label, 0) + 1
+        # One lock for the whole update keeps count/sum/buckets mutually
+        # consistent: a snapshot taken mid-observe never sees a count
+        # that disagrees with the bucket totals.
+        with self._lock:
+            self.count += 1
+            self.total += value
+            self.min = value if self.min is None else min(self.min, value)
+            self.max = value if self.max is None else max(self.max, value)
+            self._buckets[label] = self._buckets.get(label, 0) + 1
 
     @staticmethod
     def _label_for(value: float) -> str:
@@ -144,14 +155,15 @@ class Histogram:
         return ordered
 
     def as_dict(self) -> Dict[str, object]:
-        return {
-            "count": self.count,
-            "sum": self.total,
-            "min": self.min,
-            "max": self.max,
-            "mean": self.mean,
-            "buckets": self.buckets(),
-        }
+        with self._lock:
+            return {
+                "count": self.count,
+                "sum": self.total,
+                "min": self.min,
+                "max": self.max,
+                "mean": self.total / self.count if self.count else 0.0,
+                "buckets": self.buckets(),
+            }
 
 
 Instrument = Union[Counter, Gauge, Histogram]
@@ -164,8 +176,9 @@ class MetricsRegistry:
     call for a name fixes its kind, and asking for the same name as a
     different kind raises :class:`~repro.errors.TelemetryError` (a
     silent re-type would corrupt dashboards downstream). Creation takes
-    a lock so concurrent first-use is safe; updates on the returned
-    instruments are plain attribute arithmetic (atomic under the GIL).
+    a registry lock and every instrument guards its own updates, so
+    concurrent ``inc``/``observe`` from worker threads never lose
+    writes and a snapshot taken mid-update stays internally consistent.
     """
 
     def __init__(self) -> None:

@@ -183,3 +183,128 @@ class TestBuiltinReporting:
         snap = registry.snapshot()
         assert snap["counters"]["sim.runs"] == 2
         assert snap["histograms"]["sim.wall_s"]["count"] == 2
+
+
+class TestBucketEdges:
+    """Values exactly on the 1-2-5 ladder bounds must label stably:
+    bisect_left means an exact bound lands in its own bucket, the next
+    representable value above rolls to the following label."""
+
+    def observe_label(self, value):
+        h = Histogram("edge")
+        h.observe(value)
+        (label,) = h.buckets()
+        return label
+
+    def test_exact_bound_lands_in_its_own_bucket(self):
+        assert self.observe_label(0.002) == "2e-03"
+        # Every ladder bound, exactly: its own label, never the next.
+        for bound, label in zip(BUCKET_BOUNDS, BUCKET_LABELS):
+            assert self.observe_label(bound) == label
+
+    def test_just_above_bound_rolls_to_next_label(self):
+        import math
+
+        for i in (0, 10, 30, len(BUCKET_BOUNDS) - 2):
+            above = math.nextafter(BUCKET_BOUNDS[i], float("inf"))
+            assert self.observe_label(above) == BUCKET_LABELS[i + 1]
+
+    def test_zero_lands_in_first_bucket(self):
+        assert self.observe_label(0.0) == BUCKET_LABELS[0] == "1e-09"
+
+    def test_top_bound_exact_is_not_overflow(self):
+        assert self.observe_label(BUCKET_BOUNDS[-1]) == BUCKET_LABELS[-1]
+
+    def test_above_top_bound_overflows(self):
+        import math
+
+        above = math.nextafter(BUCKET_BOUNDS[-1], float("inf"))
+        assert self.observe_label(above) == OVERFLOW_LABEL
+        assert self.observe_label(1e12) == OVERFLOW_LABEL
+
+    def test_negative_still_rejected(self):
+        h = Histogram("edge")
+        with pytest.raises(TelemetryError):
+            h.observe(-1e-12)
+
+
+class TestConcurrency:
+    """inc()/observe() are read-modify-writes: without per-instrument
+    locking, concurrent updates lose writes and snapshots can see a
+    count that disagrees with the bucket totals."""
+
+    N_THREADS = 8
+    PER_THREAD = 2000
+
+    def _hammer(self, fn):
+        import threading
+
+        errors = []
+
+        def worker():
+            try:
+                for _ in range(self.PER_THREAD):
+                    fn()
+            except Exception as exc:  # surfaced after join
+                errors.append(exc)
+
+        threads = [threading.Thread(target=worker)
+                   for _ in range(self.N_THREADS)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(timeout=60)
+        assert not errors
+
+    def test_concurrent_counter_incs_are_exact(self):
+        r = MetricsRegistry()
+        self._hammer(lambda: r.counter("jobs").inc())
+        assert r.counter("jobs").value == self.N_THREADS * self.PER_THREAD
+
+    def test_concurrent_gauge_adds_are_exact(self):
+        r = MetricsRegistry()
+        self._hammer(lambda: r.gauge("depth").add(1))
+        assert r.gauge("depth").value == self.N_THREADS * self.PER_THREAD
+
+    def test_concurrent_histogram_observes_are_exact(self):
+        r = MetricsRegistry()
+        self._hammer(lambda: r.histogram("wall").observe(0.5))
+        h = r.histogram("wall")
+        assert h.count == self.N_THREADS * self.PER_THREAD
+        assert sum(h.buckets().values()) == h.count
+
+    def test_snapshot_stays_consistent_under_concurrent_writes(self):
+        import threading
+
+        r = MetricsRegistry()
+        stop = threading.Event()
+        errors = []
+
+        def writer(n):
+            try:
+                while not stop.is_set():
+                    r.counter(f"c{n}").inc()
+                    r.histogram("h").observe(0.25)
+            except Exception as exc:
+                errors.append(exc)
+
+        threads = [threading.Thread(target=writer, args=(n,))
+                   for n in range(4)]
+        for t in threads:
+            t.start()
+        try:
+            for _ in range(200):
+                snap = r.snapshot()
+                json.dumps(snap)  # JSON-safe at any instant
+                hist = snap["histograms"].get("h")
+                if hist and hist["count"]:
+                    # the headline invariant: buckets account for count
+                    assert sum(hist["buckets"].values()) == hist["count"]
+                    assert hist["sum"] == pytest.approx(
+                        hist["count"] * 0.25
+                    )
+        finally:
+            stop.set()
+            for t in threads:
+                t.join(timeout=60)
+        assert not errors
