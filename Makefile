@@ -4,7 +4,7 @@
 PYTHON ?= python
 PYTHONPATH := src
 
-.PHONY: test check bench bench-figures lint trace-demo serve-demo report
+.PHONY: test check bench bench-figures lint trace-demo serve-demo arena-demo report
 
 test:
 	PYTHONPATH=$(PYTHONPATH) $(PYTHON) -m pytest -x -q
@@ -42,6 +42,13 @@ bench-figures:
 trace-demo:
 	cd benchmarks && PYTHONPATH=../$(PYTHONPATH) $(PYTHON) -m pytest -q --benchmark-only test_trace_demo.py
 	@cat benchmarks/results/trace_demo.txt
+
+# Fuzz the cross-paper rivals through the invariant suite, then run
+# the arena-grid walkthrough (DESIGN.md §15).
+arena-demo:
+	PYTHONPATH=$(PYTHONPATH) $(PYTHON) -m repro check --fuzz 50 \
+		--policy reuse-detector --policy rd-copyback --policy ways-off
+	PYTHONPATH=$(PYTHONPATH) $(PYTHON) examples/arena_demo.py WL2 4000
 
 # Boot the simulation service, submit one Fig. 14 cell twice (same
 # server, then a restarted server on the shared cache dir) and assert

@@ -1,0 +1,64 @@
+#!/usr/bin/env python
+"""Policy arena walkthrough: the cross-paper grid in three steps.
+
+1. Prints the registry catalog — every policy with its source paper,
+   kernel eligibility, and curated-set membership (the same data
+   behind ``repro list`` and DESIGN.md §15).
+2. Runs the arena grid on one Table III mix: every arena policy on a
+   bit-identical trace, EPI / throughput / write classes normalised to
+   the non-inclusive baseline (``repro compare --arena`` from Python).
+3. Shows the rival mechanisms' own counters (``RunResult.extra``):
+   reuse-detector bypass/fill decisions, rd-copyback gating, and the
+   static energy ways-off forgoes by powering ways down.
+
+Run:  python examples/arena_demo.py [mix] [refs_per_core]
+"""
+
+import sys
+
+from repro import SystemConfig, make_workload, simulate
+from repro.analysis import render_mapping_table, render_table
+from repro.analysis.arena import arena_policies, grid_rows
+from repro.arena import registry
+
+
+def main() -> None:
+    mix = sys.argv[1] if len(sys.argv) > 1 else "WL2"
+    refs = int(sys.argv[2]) if len(sys.argv) > 2 else 8_000
+    system = SystemConfig.scaled()
+
+    # ---- 1. the catalog ----------------------------------------------
+    rows = [
+        [e["name"], e["kernel"], "yes" if e["arena"] else "-", e["paper"]]
+        for e in registry.catalog_rows()
+    ]
+    print(render_table("the policy registry", ["name", "kernel", "arena", "paper"], rows))
+    print()
+
+    # ---- 2. the arena grid -------------------------------------------
+    policies = arena_policies()
+    results = {}
+    for policy in policies:
+        workload = make_workload(mix, system, seed=7)
+        results[policy] = simulate(system, policy, workload, refs_per_core=refs)
+    print(render_mapping_table(
+        f"arena grid: {mix} on {system.label} (normalised to {policies[0]})",
+        grid_rows(results),
+        row_label="policy",
+    ))
+    print()
+
+    # ---- 3. the rivals' own counters ---------------------------------
+    rd = results["reuse-detector"].extra
+    cb = results["rd-copyback"].extra
+    wo = results["ways-off"].extra
+    print(f"reuse-detector: {rd['reuse_bypasses']:.0f} fills bypassed, "
+          f"{rd['reuse_fills']:.0f} reuse-confirmed fills")
+    print(f"rd-copyback:    {cb['rd_copybacks']:.0f} clean victims copied back, "
+          f"{cb['rd_copyback_drops']:.0f} dropped (no measured reuse)")
+    print(f"ways-off:       {wo['llc_ways_off']:.0f}/{wo['llc_ways_total']:.0f} ways dark, "
+          f"{wo['llc_static_saved_j']:.3e} J static energy saved")
+
+
+if __name__ == "__main__":
+    main()

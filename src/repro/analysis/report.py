@@ -127,6 +127,16 @@ EXPERIMENT_INDEX: Sequence[ExperimentEntry] = (
                     "The paper states DASCA-style dead-write bypassing is orthogonal "
                     "to LAP and composes with it for further dynamic-energy savings.",
                     "ext_deadwrite"),
+    ExperimentEntry("Arena EPI", "Cross-paper policy arena: EPI (extension)",
+                    "(no paper counterpart) every arena-registry policy — the LAP "
+                    "families plus reuse-detector, rd-copyback and ways-off rivals — "
+                    "on the Table III mixes, EPI normalised to non-inclusive.",
+                    "arena_epi"),
+    ExperimentEntry("Arena writes", "Cross-paper policy arena: LLC writes (extension)",
+                    "(no paper counterpart) the same grid's total-LLC-write "
+                    "ratios; write-avoiding rivals land between LAP and the "
+                    "switching policies, ways-off trades writes for leakage.",
+                    "arena_writes"),
     ExperimentEntry("Harness", "Hot-path throughput (infrastructure)",
                     "Simulator accesses/sec on the Fig. 14 grid, instrumented vs "
                     "probe-free; the probe-bus refactor's >=1.5x uninstrumented "

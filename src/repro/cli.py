@@ -72,7 +72,6 @@ from typing import Optional, Sequence
 
 from . import make_workload, simulate
 from .analysis import classify_wl_wh, favors_exclusion, render_mapping_table, render_table
-from .core.policies import policy_names
 from .energy import SRAM, STT_RAM
 from .errors import ReproError
 from .exec import ResultCache, cache_from_env, get_active_cache, set_active_cache
@@ -137,7 +136,31 @@ def _system_from(args: argparse.Namespace) -> SystemConfig:
 
 
 def _cmd_list(args: argparse.Namespace) -> int:
-    print(render_table("policies", ["name"], [[p] for p in sorted(set(policy_names()))]))
+    from .arena import registry
+
+    rows = []
+    for entry in registry.catalog_rows():
+        sets = ",".join(
+            label
+            for label, member in (
+                ("arena", entry["arena"]),
+                ("check", entry["check_default"]),
+                ("hybrid", entry["hybrid_only"]),
+            )
+            if member
+        )
+        rows.append([
+            entry["name"],
+            entry["aliases"] or "-",
+            entry["kernel"],
+            sets or "-",
+            f"{entry['paper']} {entry['anchor']}",
+        ])
+    print(render_table(
+        "policies (registry catalog; details in DESIGN.md section 15)",
+        ["name", "aliases", "kernel", "sets", "paper anchor"],
+        rows,
+    ))
     print()
     rows = (
         [[m, "Table III mix"] for m in TABLE3_ORDER]
@@ -172,13 +195,44 @@ def _cmd_run(args: argparse.Namespace) -> int:
     return 0
 
 
+def _policy_list(spec: str, hybrid: bool = False) -> tuple:
+    """Split a ``--policies`` value, expanding the ``arena`` token to
+    the registry's arena-grid set and validating every name."""
+    from .analysis.arena import arena_policies
+    from .arena import registry
+
+    names = []
+    for name in spec.split(","):
+        name = name.strip()
+        if name == "arena":
+            names.extend(arena_policies(hybrid=hybrid))
+        elif name:
+            names.append(name)
+    # de-dupe after canonicalisation, keeping first occurrence
+    return tuple(dict.fromkeys(registry.validate_names(names)))
+
+
 def _cmd_compare(args: argparse.Namespace) -> int:
+    from .analysis.arena import grid_rows
+
     system = _system_from(args)
-    policies = args.policies.split(",")
+    if args.arena:
+        policies = _policy_list("arena", hybrid=args.hybrid)
+    else:
+        policies = _policy_list(args.policies, hybrid=args.hybrid)
     results = {}
     for policy in policies:
         workload = make_workload(args.workload, system, seed=args.seed)
         results[policy] = simulate(system, policy, workload, refs_per_core=args.refs)
+    if args.arena:
+        print(render_mapping_table(
+            f"arena grid: {args.workload} on {system.label} "
+            f"(normalised to {policies[0]}; write classes as share of "
+            "its total LLC writes)",
+            grid_rows(results),
+            row_label="policy",
+        ))
+        return 0
     baseline = results[policies[0]]
     rows = {}
     for policy, r in results.items():
@@ -384,7 +438,7 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     sweep = Sweep(
         systems={system.label: system},
         workloads=builders,
-        policies=tuple(args.policies.split(",")),
+        policies=_policy_list(args.policies, hybrid=args.hybrid),
         refs_per_core=args.refs,
     )
     jobs = max(1, getattr(args, "jobs", 1))
@@ -511,9 +565,14 @@ def _cmd_trace_diff(args: argparse.Namespace) -> int:
 # check: the invariant-validation suite
 # ----------------------------------------------------------------------
 def _cmd_check(args: argparse.Namespace) -> int:
+    from .arena import registry
     from .validate import DEFAULT_POLICIES, run_checks
 
-    policies = tuple(args.policy) if args.policy else DEFAULT_POLICIES
+    # Validate names up front so a typo gets the registry's list +
+    # nearest-match suggestion instead of failing mid-suite.
+    policies = (
+        registry.validate_names(args.policy) if args.policy else DEFAULT_POLICIES
+    )
     report = run_checks(
         policies,
         fuzz_rounds=args.fuzz,
@@ -796,7 +855,13 @@ def build_parser() -> argparse.ArgumentParser:
 
     p = sub.add_parser("compare", help="compare policies on identical traces")
     p.add_argument("workload")
-    p.add_argument("--policies", default="non-inclusive,exclusive,dswitch,lap")
+    p.add_argument("--policies", default="non-inclusive,exclusive,dswitch,lap",
+                   help="comma-separated policy names; the token 'arena' "
+                   "expands to the registry's arena-grid set")
+    p.add_argument("--arena", action="store_true",
+                   help="run the full cross-paper arena grid (every "
+                   "registry policy marked arena=yes, non-inclusive "
+                   "baseline first) with the Fig. 15 write-class split")
     _add_system_args(p)
     p.set_defaults(fn=_cmd_compare)
 
@@ -848,7 +913,9 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser("sweep", help="workloads x policies grid with CSV export")
     p.add_argument("--workloads", default="WL2,WH1",
                    help="comma-separated mixes/benchmarks (default: WL2,WH1)")
-    p.add_argument("--policies", default="non-inclusive,exclusive,lap")
+    p.add_argument("--policies", default="non-inclusive,exclusive,lap",
+                   help="comma-separated policy names; the token 'arena' "
+                   "expands to the registry's arena-grid set")
     p.add_argument("--output", default=None, help="CSV output path (default: stdout)")
     p.add_argument("--heartbeat", type=float, default=10.0, metavar="SECONDS",
                    help="progress-line interval for long sweeps "
@@ -870,8 +937,10 @@ def build_parser() -> argparse.ArgumentParser:
         help="machine-check simulation invariants (optionally fuzzing)",
     )
     p.add_argument("--policy", action="append", default=None, metavar="NAME",
-                   help="policy to check (repeatable; default: the seven "
-                   "evaluated policies)")
+                   help="policy to check (repeatable; default: the "
+                   "registry's check set — the paper's evaluated "
+                   "policies plus the arena rivals; `repro list` "
+                   "shows membership)")
     p.add_argument("--fuzz", type=int, default=0, metavar="N",
                    help="also run N randomized fuzz cases with shrinking "
                    "(default: 0 = deterministic stages only)")

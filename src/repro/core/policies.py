@@ -1,55 +1,22 @@
-"""Policy registry: every Table IV policy by name.
+"""Policy factory: every Table IV policy (and arena rival) by name.
 
-Central factory used by the experiment runner, the benchmark harness,
-and the examples. Names accepted (paper's Table IV plus the Fig. 25
-ablation stages):
+Thin delegation layer over the policy registry
+(:mod:`repro.arena.registry`), kept for API stability — the experiment
+runner, the benchmark harness, and the examples all build policies
+through :func:`make_policy`. The registry owns the catalog: names,
+aliases, factories, paper anchors, kernel eligibility, and the curated
+sets (``repro check`` default, ``--arena`` grid). See DESIGN.md §15
+for the full per-policy table.
 
-=====================  ====================================================
-``non-inclusive``      baseline inclusion property (alias ``noni``)
-``exclusive``          exclusive policy (alias ``ex``)
-``inclusive``          strictly inclusive LLC (not in Table IV; Fig. 1a)
-``flexclusion``        capacity/bandwidth-driven dynamic switching
-``dswitch``            write-aware dynamic switching
-``lap``                full LAP with set-dueling replacement
-``lap-lru``            LAP forced to LRU replacement
-``lap-loop``           LAP forced to loop-aware replacement
-``lhybrid``            LAP + all three hybrid placement stages
-``lap+winv``           Fig. 25 stage: write-hit invalidation only
-``lap+loopstt``        Fig. 25 stage: loop-blocks to STT-RAM only
-``lap+nloopsram``      Fig. 25 stage: non-loop-blocks to SRAM only
-=====================  ====================================================
+The tuples below are the *paper's* evaluated-policy groupings
+(Section VI figures), which are fixed by the paper rather than by what
+happens to be registered — they stay literal on purpose, and a test
+asserts every member is a registered name.
 """
 
 from __future__ import annotations
 
-from typing import Callable, Dict
-
-from ..errors import ConfigurationError
-from ..inclusion.switching import DswitchPolicy, FLEXclusionPolicy
-from ..inclusion.traditional import ExclusivePolicy, InclusivePolicy, NonInclusivePolicy
-from .deadwrite import DeadWriteBypassExclusive, DeadWriteBypassLAP
-from .lap import LAPPolicy
-from .lhybrid import LhybridPolicy
-
-_FACTORIES: Dict[str, Callable[..., object]] = {
-    "non-inclusive": NonInclusivePolicy,
-    "noni": NonInclusivePolicy,
-    "exclusive": ExclusivePolicy,
-    "ex": ExclusivePolicy,
-    "inclusive": InclusivePolicy,
-    "flexclusion": FLEXclusionPolicy,
-    "dswitch": DswitchPolicy,
-    "lap": lambda **kw: LAPPolicy(replacement_mode="duel", **kw),
-    "lap-lru": lambda **kw: LAPPolicy(replacement_mode="lru", **kw),
-    "lap-loop": lambda **kw: LAPPolicy(replacement_mode="loop", **kw),
-    "lhybrid": lambda **kw: LhybridPolicy(winv=True, loop_stt=True, nloop_sram=True, **kw),
-    "lap+winv": lambda **kw: LhybridPolicy(winv=True, loop_stt=False, nloop_sram=False, **kw),
-    "lap+loopstt": lambda **kw: LhybridPolicy(winv=False, loop_stt=True, nloop_sram=False, **kw),
-    "lap+nloopsram": lambda **kw: LhybridPolicy(winv=False, loop_stt=False, nloop_sram=True, **kw),
-    "lap-rrip": lambda **kw: LAPPolicy(replacement_mode="duel", baseline="srrip", **kw),
-    "lap+dwb": DeadWriteBypassLAP,
-    "exclusive+dwb": lambda **kw: DeadWriteBypassExclusive(),
-}
+from ..arena import registry
 
 # The evaluated-policy sets used throughout Section VI.
 HOMOGENEOUS_POLICIES = ("non-inclusive", "exclusive", "flexclusion", "dswitch", "lap")
@@ -60,21 +27,15 @@ LHYBRID_STAGES = ("lap", "lap+winv", "lap+loopstt", "lap+nloopsram", "lhybrid")
 
 def policy_names() -> tuple:
     """Canonical (unaliased) registry names."""
-    return tuple(
-        name for name in _FACTORIES if name not in ("noni", "ex")
-    )
+    return registry.names()
 
 
 def make_policy(name: str, **kwargs):
-    """Instantiate a fresh inclusion policy by registry name.
+    """Instantiate a fresh inclusion policy by registry name or alias.
 
     Keyword arguments are forwarded to the policy constructor (e.g.
-    ``duel_interval=...`` for the dueling policies).
+    ``duel_interval=...`` for the dueling policies). Unknown names
+    raise :class:`~repro.errors.ConfigurationError` listing the valid
+    names and suggesting the nearest match.
     """
-    try:
-        factory = _FACTORIES[name]
-    except KeyError:
-        raise ConfigurationError(
-            f"unknown policy {name!r}; known: {sorted(set(policy_names()))}"
-        )
-    return factory(**kwargs)
+    return registry.make(name, **kwargs)

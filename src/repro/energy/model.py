@@ -155,16 +155,30 @@ class LLCEnergyModel:
         )
         return milliwatts * 1e-3 * self.leakage_compensation
 
-    def compute(self, stats: CacheStats, cycles: int, instructions: int) -> EnergyResult:
+    def compute(
+        self,
+        stats: CacheStats,
+        cycles: int,
+        instructions: int,
+        active_fraction: float = 1.0,
+    ) -> EnergyResult:
         """Turn one run's LLC counters into an :class:`EnergyResult`.
 
         ``cycles`` is the slowest core's cycle count (the run's
         duration) and ``instructions`` the total committed instructions
         across cores (the paper's EPI denominator).
+        ``active_fraction`` scales the data-array + tag leakage for
+        way-gating policies (Mittal-style reconfiguration, the arena's
+        ``ways-off``): powered-down ways leak nothing, so static energy
+        is charged only for the fraction left on.
         """
         require_nonnegative(cycles, "cycles")
+        if not 0.0 < active_fraction <= 1.0:
+            raise ConfigurationError(
+                f"active_fraction must be in (0, 1], got {active_fraction}"
+            )
         duration_s = cycles / self.clock_hz
-        static_j = self.leakage_watts() * duration_s
+        static_j = self.leakage_watts() * duration_s * active_fraction
 
         nj = 1e-9
         read_j = (

@@ -164,6 +164,14 @@ class JobSpec:
             )
         if not isinstance(self.policy, str) or not self.policy:
             raise ExecutionError("JobSpec.policy must be a non-empty policy name")
+        # The registry is the single source of truth for policy names:
+        # validate at admission (CLI, serve submissions, from_dict all
+        # funnel through here) and canonicalise aliases so "noni" and
+        # "non-inclusive" share one cache key.
+        from ..arena import registry
+
+        canonical = registry.validate_names((self.policy,), error=ExecutionError)[0]
+        object.__setattr__(self, "policy", canonical)
         if self.refs_per_core <= 0:
             raise ExecutionError(f"refs_per_core must be positive, got {self.refs_per_core}")
 

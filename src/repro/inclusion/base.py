@@ -120,6 +120,15 @@ class InclusionPolicy:
     def end_of_run(self) -> None:
         """Flush any policy-internal accounting at simulation end."""
 
+    def extra_stats(self) -> dict:
+        """Policy-specific counters merged into ``RunResult.extra``.
+
+        Override to surface mechanism-level accounting (bypass counts,
+        copy-back decisions, gated ways, ...) without every consumer
+        having to know the policy's attributes.
+        """
+        return {}
+
     # ------------------------------------------------------------------
     # shared mechanics
     # ------------------------------------------------------------------

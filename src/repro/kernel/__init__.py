@@ -75,12 +75,28 @@ def make_tag_store(
     return ObjectTagStore(num_sets, assoc, way_techs)
 
 
+def batched_policy_names() -> tuple:
+    """Policy names declared batched-kernel-eligible by the registry.
+
+    The ground truth remains :func:`repro.kernel.batch.kernel_mode`
+    (exact-type dispatch over a built policy instance); the registry
+    carries the *declaration*, and the test suite asserts the two
+    agree for every registered policy. New policies default to the
+    generic path — they appear here only once both the declaration and
+    a kernel mode exist.
+    """
+    from ..arena.registry import batched_names
+
+    return batched_names()
+
+
 __all__ = [
     "ENV_VAR",
     "TAG_BACKENDS",
     "TagStore",
     "ObjectTagStore",
     "SoATagStore",
+    "batched_policy_names",
     "make_tag_store",
     "numpy_available",
     "resolve_backend",

@@ -174,10 +174,18 @@ class Simulator:
         h = self.hierarchy
         instructions = int(sum(core_instr))
         cycles = h.timing.max_cycles
+        # Way-gating policies (arena ways-off) power down part of the
+        # LLC; their leakage is charged only for the active fraction.
+        active_fraction = float(getattr(self.policy, "llc_active_fraction", 1.0))
         energy = self.system.energy_model().compute(
-            h.llc.stats, int(cycles), instructions
+            h.llc.stats, int(cycles), instructions, active_fraction=active_fraction
         )
-        extra = {}
+        extra = dict(self.policy.extra_stats())
+        if active_fraction < 1.0:
+            # Leakage the gated ways would have cost at full power.
+            extra["llc_static_saved_j"] = energy.static_j * (
+                1.0 / active_fraction - 1.0
+            )
         if getattr(self.policy, "winv_redirects", None) is not None:
             extra["winv_redirects"] = self.policy.winv_redirects
         dueling = getattr(self.policy, "dueling", None)

@@ -33,6 +33,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple, Union
 
+from ..arena import registry
 from ..core.lhybrid import LhybridPolicy
 from ..core.policies import make_policy
 from ..hierarchy import CacheHierarchy
@@ -41,17 +42,10 @@ from ..inclusion.switching import SwitchingPolicy
 from ..testing import micro_hierarchy_config
 from .invariants import InvariantProbe, violation
 
-#: the evaluated-policy set `repro check` covers by default: the
-#: paper's Table IV policies plus strict inclusion (Fig. 1a).
-DEFAULT_POLICIES: Tuple[str, ...] = (
-    "inclusive",
-    "non-inclusive",
-    "exclusive",
-    "flexclusion",
-    "dswitch",
-    "lap",
-    "lhybrid",
-)
+#: the evaluated-policy set ``repro check`` covers by default, derived
+#: from the registry's ``check_default`` declarations: the paper's
+#: Table IV policies, strict inclusion (Fig. 1a), and the arena rivals.
+DEFAULT_POLICIES: Tuple[str, ...] = registry.check_names()
 
 #: (core, addr, is_write) — the trace triple both harnesses replay.
 Ref = Tuple[int, int, bool]

@@ -66,3 +66,10 @@ class TestExamples:
         out = capsys.readouterr().out
         assert "identical = True" in out
         assert "lap+dwb" in out
+
+    def test_arena_demo(self, monkeypatch, capsys):
+        run_example(monkeypatch, "arena_demo", ["WL2", "1500"])
+        out = capsys.readouterr().out
+        assert "arena grid" in out
+        assert "reuse-detector" in out and "rd-copyback" in out
+        assert "ways dark" in out

@@ -2,7 +2,7 @@
 
 DESIGN.md §13's switch-over criteria, as executable tests:
 
-1. **Fuzzer traces, all 7 evaluated policies, both coherence modes** —
+1. **Fuzzer traces, the registry's check set, both coherence modes** —
    replaying the same phased trace through ``tag_backend="object"`` and
    ``tag_backend="soa"`` must produce identical hierarchy and LLC stat
    snapshots, with the armed invariant checker silent on both (the
@@ -20,7 +20,8 @@ from dataclasses import asdict
 
 import pytest
 
-from repro.kernel import numpy_available
+from repro.arena import registry
+from repro.kernel import batched_policy_names, numpy_available
 from repro.sim.simulator import Simulator
 from repro.sim.system import SystemConfig
 from repro.validate import DEFAULT_POLICIES, generate_trace, run_trace
@@ -30,9 +31,10 @@ pytestmark = pytest.mark.skipif(
     not numpy_available(), reason="soa backend requires numpy"
 )
 
-#: policies with a batched-kernel flow (exact-type gate in
-#: repro.kernel.batch.kernel_mode) plus LAP replacement variants.
-KERNEL_POLICIES = ("non-inclusive", "exclusive", "lap", "lap-lru", "lap-loop")
+#: policies declared batched-kernel-eligible by the registry — derived,
+#: so a newly registered BATCHED policy joins the kernel parity matrix
+#: automatically.
+KERNEL_POLICIES = batched_policy_names()
 
 
 @pytest.fixture(autouse=True)
@@ -95,12 +97,14 @@ def test_runresult_parity_kernel(policy, workload):
     assert asdict(r_obj) == asdict(r_gen)
 
 
-@pytest.mark.parametrize("policy", DEFAULT_POLICIES)
+@pytest.mark.parametrize("policy", registry.names())
 def test_runresult_parity_generic(policy):
-    """Pinned-soa generic runs match object for every evaluated policy
+    """Pinned-soa generic runs match object for EVERY registered policy
     (instrumentation on: the probe bus blocks the batched kernel, so
-    both backends run the same generic path over different layouts)."""
-    hybrid = policy == "lhybrid"  # lhybrid requires a hybrid LLC
+    both backends run the same generic path over different layouts).
+    Parametrized over the registry, so a new policy is covered the
+    moment it is registered."""
+    hybrid = registry.get(policy).hybrid_only  # Lhybrid family needs SRAM ways
     system_obj = SystemConfig.scaled(hybrid=hybrid).with_tag_backend("object")
     system_soa = SystemConfig.scaled(hybrid=hybrid).with_tag_backend("soa")
     w1 = make_table3_mix("WH2", system_obj.scale_context(), seed=3)

@@ -9,7 +9,7 @@ reproducing the same invariant violation.
 
 import pytest
 
-from repro.core.policies import _FACTORIES
+from repro.arena import registry
 from repro.errors import InvariantViolation
 from repro.inclusion.base import LLCAccess
 from repro.inclusion.traditional import ExclusivePolicy, NonInclusivePolicy
@@ -41,22 +41,18 @@ class BuggyExclusivePolicy(ExclusivePolicy):
 @pytest.fixture
 def buggy_exclusive():
     """Swap the registry's exclusive policy for the pre-fix one."""
-    original = _FACTORIES["exclusive"]
-    _FACTORIES["exclusive"] = BuggyExclusivePolicy
-    try:
+    with registry.overridden("exclusive", BuggyExclusivePolicy):
         yield
-    finally:
-        _FACTORIES["exclusive"] = original
 
 
 class TestCrossPolicyIdentities:
     @pytest.mark.parametrize("seed", [1, 7, 42])
-    def test_all_seven_policies_no_coherence(self, seed):
+    def test_default_policies_no_coherence(self, seed):
         trace = generate_trace(seed, refs=1200, ncores=1)
         report = run_differential(trace, DEFAULT_POLICIES, interval=64)
         assert report.policies == DEFAULT_POLICIES
         joined = " | ".join(report.identities)
-        # The L2 front-end is policy-blind for the six
+        # The L2 front-end is policy-blind for the
         # non-back-invalidating policies ...
         assert "l2_hits equal across" in joined
         assert "l2_victims equal across" in joined
@@ -67,7 +63,7 @@ class TestCrossPolicyIdentities:
         assert "write-class laws" in joined
 
     @pytest.mark.parametrize("seed", [3, 11])
-    def test_all_seven_policies_with_coherence(self, seed):
+    def test_default_policies_with_coherence(self, seed):
         trace = generate_trace(seed, refs=1200, ncores=2)
         report = run_differential(
             trace, DEFAULT_POLICIES, ncores=2, enable_coherence=True, interval=64
@@ -80,9 +76,11 @@ class TestCrossPolicyIdentities:
         # non-inclusive / inclusive: never write clean victims.
         assert report.llc["non-inclusive"]["clean_victim_writes"] == 0
         assert report.llc["inclusive"]["clean_victim_writes"] == 0
-        # exclusive / LAP family: never data-fill the LLC.
-        for name in ("exclusive", "lap", "lhybrid"):
+        # exclusive / LAP family / rd-copyback: never data-fill the LLC.
+        for name in ("exclusive", "lap", "lhybrid", "rd-copyback"):
             assert report.llc[name]["fill_writes"] == 0
+        # reuse-detector drops clean victims like non-inclusion does.
+        assert report.llc["reuse-detector"]["clean_victim_writes"] == 0
 
     def test_as_rows_covers_every_policy(self):
         trace = generate_trace(2, refs=400)
@@ -100,14 +98,10 @@ class TestCrossPolicyIdentities:
                 # dirty victims miscounted as clean ones
                 self.insert_or_update(core, line.addr, dirty=False, category="clean_victim")
 
-        original = _FACTORIES["non-inclusive"]
-        _FACTORIES["non-inclusive"] = Miscounting
-        try:
+        with registry.overridden("non-inclusive", Miscounting):
             trace = generate_trace(9, refs=800)
             with pytest.raises(InvariantViolation):
                 run_differential(trace, ("non-inclusive", "exclusive"))
-        finally:
-            _FACTORIES["non-inclusive"] = original
 
 
 class TestMutationDetection:
@@ -150,8 +144,9 @@ class TestRunChecks:
         report = run_checks(DEFAULT_POLICIES, refs=600, interval=32)
         assert report.ok, [e.detail for e in report.failures]
         names = [e.name for e in report.entries]
-        # 7 policies x 3 modes + 3 differential passes
-        assert len([n for n in names if n.startswith("invariants[")]) == 21
+        # every default policy x 3 modes + 3 differential passes
+        expected = 3 * len(DEFAULT_POLICIES)
+        assert len([n for n in names if n.startswith("invariants[")]) == expected
         assert len([n for n in names if n.startswith("differential[")]) == 3
 
     def test_coherence_mode_filter(self):
