@@ -4,7 +4,7 @@
 PYTHON ?= python
 PYTHONPATH := src
 
-.PHONY: test check bench bench-figures lint trace-demo serve-demo arena-demo report
+.PHONY: test check bench bench-figures lint trace-demo serve-demo arena-demo suite-demo report
 
 test:
 	PYTHONPATH=$(PYTHONPATH) $(PYTHON) -m pytest -x -q
@@ -49,6 +49,14 @@ arena-demo:
 	PYTHONPATH=$(PYTHONPATH) $(PYTHON) -m repro check --fuzz 50 \
 		--policy reuse-detector --policy rd-copyback --policy ways-off
 	PYTHONPATH=$(PYTHONPATH) $(PYTHON) examples/arena_demo.py WL2 4000
+
+# Benchmark suites + trace corpus walkthrough (DESIGN.md §16): run a
+# named set cold then cache-warm (asserting the rerun simulates
+# nothing), capture traces into a content-addressed corpus, verify it,
+# and replay it as a suite. Also verifies the committed fixture corpus.
+suite-demo:
+	PYTHONPATH=$(PYTHONPATH) $(PYTHON) examples/suite_demo.py loop 3000
+	PYTHONPATH=$(PYTHONPATH) $(PYTHON) -m repro corpus verify --dir tests/data/corpus
 
 # Boot the simulation service, submit one Fig. 14 cell twice (same
 # server, then a restarted server on the shared cache dir) and assert

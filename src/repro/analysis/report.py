@@ -142,6 +142,13 @@ EXPERIMENT_INDEX: Sequence[ExperimentEntry] = (
                     "probe-free; the probe-bus refactor's >=1.5x uninstrumented "
                     "speedup is recorded in BENCH_hotpath.json.",
                     "hotpath_throughput"),
+    ExperimentEntry("Harness", "Benchmark-suite geomean (infrastructure)",
+                    "The paper's summary statistic as a harness primitive: "
+                    "`repro suite run <set>` fans a named benchmark set "
+                    "through the exec pool and reports per-policy geometric "
+                    "means of the metric ratios vs the baseline policy "
+                    "(`make suite-demo`).",
+                    "suite_geomean"),
     ExperimentEntry("Harness", "Trace diff: LAP vs non-inclusive (infrastructure)",
                     "Flight-recorder evidence for the paper's write-count claims: "
                     "on the same (workload, seed), LAP's event stream shows zero "

@@ -36,6 +36,18 @@ Commands
     Machine-check the simulator's per-policy invariants
     (``repro.validate``): deterministic invariant + differential
     stages, plus ``--fuzz N`` randomized cases with failure shrinking.
+``suite``
+    Named benchmark sets (``repro.suite``): ``list`` the registry
+    (Table III mixes, SPEC-like int/fp splits, trait families, trace
+    corpora) or ``run`` one set through the exec pool with
+    per-benchmark error surfacing and a geomean summary normalised to
+    the baseline policy.
+``corpus``
+    The content-addressed trace store (``repro.workloads.corpus``):
+    ``add`` archives (verified before ingest), ``list`` entries,
+    ``verify`` every stored trace against its manifest and checksums,
+    or ``capture`` a synthetic workload's streams straight into the
+    corpus.
 ``serve``
     Run the simulation service (``repro.serve``): an asyncio HTTP/JSON
     server that accepts job specs, coalesces identical submissions,
@@ -815,6 +827,179 @@ def _cmd_trace(args: argparse.Namespace) -> int:
     return actions[args.action](args)
 
 
+# ----------------------------------------------------------------------
+# suite: named benchmark sets through the exec pool
+# ----------------------------------------------------------------------
+def _corpus_from(args: argparse.Namespace, create: bool = False):
+    """The corpus named by ``--corpus``/``--dir`` or $REPRO_CORPUS_DIR.
+
+    A directory given explicitly is also exported to the environment so
+    pool workers (fresh processes) resolve the same corpus.
+    """
+    import os
+
+    from .workloads.corpus import ENV_CORPUS_DIR, TraceCorpus, active_corpus
+
+    directory = getattr(args, "corpus", None) or getattr(args, "dir", None)
+    if directory:
+        corpus = TraceCorpus(directory, create=create)
+        os.environ[ENV_CORPUS_DIR] = str(corpus.root)
+        return corpus
+    return active_corpus()
+
+
+def _cmd_suite_list(args: argparse.Namespace) -> int:
+    from .suite import sets
+
+    rows = [
+        [s.name, ",".join(s.aliases) or "-", len(s), s.kind, s.description]
+        for s in sets()
+    ]
+    rows.append(["corpus", "-", "*", "trace",
+                 "every trace in the active corpus (--corpus / $REPRO_CORPUS_DIR)"])
+    print(render_table(
+        "benchmark sets (repro suite run <set>)",
+        ["name", "aliases", "members", "kind", "description"],
+        rows,
+    ))
+    return 0
+
+
+def _cmd_suite_run(args: argparse.Namespace) -> int:
+    from .sim.sweeps import records_to_csv
+    from .suite import result_text, run_suite, suite_records, write_result_file
+
+    system = _system_from(args)
+    corpus = _corpus_from(args)
+    cache = get_active_cache()
+    jobs = max(1, getattr(args, "jobs", 1))
+    report = run_suite(
+        args.set,
+        system,
+        policies=_policy_list(args.policies, hybrid=args.hybrid),
+        refs_per_core=args.refs,
+        seed=args.seed,
+        max_workers=jobs,
+        cache=cache,
+        corpus=corpus,
+        progress=lambda line: print(f"  {line}", file=sys.stderr),
+        heartbeat_interval=args.heartbeat if args.heartbeat > 0 else None,
+    )
+    if args.json:
+        print(json.dumps(
+            {
+                "set": report.set_name,
+                "system": report.system,
+                "policies": list(report.policies),
+                "refs_per_core": report.refs_per_core,
+                "baseline": report.baseline,
+                "geomean": report.geomean_summary() if report.succeeded else {},
+                "failures": {o.benchmark: o.error for o in report.failures},
+                "cache_hits": report.cache_hits,
+                "simulated": report.simulated,
+            },
+            indent=2, sort_keys=True,
+        ))
+    else:
+        print(result_text(report), end="")
+    if args.output:
+        records_to_csv(suite_records(report), args.output)
+        print(f"CSV written to {args.output}", file=sys.stderr)
+    if args.result_file:
+        path = write_result_file(report, args.result_file)
+        print(f"result file written to {path}", file=sys.stderr)
+    if cache is not None:
+        print(f"run manifest written to {cache.root / 'manifest.json'}",
+              file=sys.stderr)
+    if not report.ok:
+        print(f"\n{len(report.failures)} benchmark(s) failed", file=sys.stderr)
+        return 1
+    return 0
+
+
+def _cmd_suite(args: argparse.Namespace) -> int:
+    actions = {"list": _cmd_suite_list, "run": _cmd_suite_run}
+    return actions[args.action](args)
+
+
+# ----------------------------------------------------------------------
+# corpus: the content-addressed trace store
+# ----------------------------------------------------------------------
+def _require_corpus(args: argparse.Namespace, create: bool = False):
+    corpus = _corpus_from(args, create=create)
+    if corpus is None:
+        raise ReproError(
+            "no trace corpus: pass --dir or set $REPRO_CORPUS_DIR"
+        )
+    return corpus
+
+
+def _cmd_corpus_add(args: argparse.Namespace) -> int:
+    corpus = _require_corpus(args, create=True)
+    for path in args.paths:
+        entry = corpus.add(path, name=args.name)
+        print(f"{entry.digest[:12]}  {entry.name}  "
+              f"{entry.length} refs  v{entry.version}")
+    print(f"{len(corpus)} trace(s) in {corpus.root}", file=sys.stderr)
+    return 0
+
+
+def _cmd_corpus_list(args: argparse.Namespace) -> int:
+    corpus = _require_corpus(args)
+    entries = corpus.entries()
+    if args.json:
+        print(json.dumps([e.as_dict() for e in entries], indent=2, sort_keys=True))
+        return 0
+    rows = [
+        [e.digest[:12], e.name, e.length, e.instr_per_ref, e.version,
+         e.size_bytes, e.source or "-"]
+        for e in entries
+    ]
+    print(render_table(
+        f"trace corpus at {corpus.root} ({len(entries)} entries)",
+        ["digest", "name", "refs", "instr/ref", "fmt", "bytes", "source"],
+        rows,
+    ))
+    return 0
+
+
+def _cmd_corpus_verify(args: argparse.Namespace) -> int:
+    corpus = _require_corpus(args)
+    problems = corpus.verify()
+    if problems:
+        print(f"{len(problems)} problem(s) in {corpus.root}:", file=sys.stderr)
+        for problem in problems:
+            print(f"  {problem}", file=sys.stderr)
+        return 1
+    print(f"all {len(corpus)} trace(s) in {corpus.root} verify clean")
+    return 0
+
+
+def _cmd_corpus_capture(args: argparse.Namespace) -> int:
+    corpus = _require_corpus(args, create=True)
+    system = _system_from(args)
+    workload = make_workload(args.workload, system, seed=args.seed)
+    for i, generator in enumerate(workload.generators):
+        name = args.name or f"{args.workload}.core{i}"
+        if len(workload.generators) > 1 and args.name:
+            name = f"{args.name}.core{i}"
+        entry = corpus.capture(generator, args.refs, name=name)
+        print(f"{entry.digest[:12]}  {entry.name}  {entry.length} refs")
+        if args.first_only:
+            break
+    return 0
+
+
+def _cmd_corpus(args: argparse.Namespace) -> int:
+    actions = {
+        "add": _cmd_corpus_add,
+        "list": _cmd_corpus_list,
+        "verify": _cmd_corpus_verify,
+        "capture": _cmd_corpus_capture,
+    }
+    return actions[args.action](args)
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -1042,6 +1227,85 @@ def build_parser() -> argparse.ArgumentParser:
     _add_endpoint_args(p)
     p.add_argument("--json", action="store_true", help="machine-readable output")
     p.set_defaults(fn=_cmd_result)
+
+    p = sub.add_parser(
+        "suite",
+        help="list named benchmark sets or run one through the exec pool "
+        "with a geomean summary",
+    )
+    suite_sub = p.add_subparsers(dest="action", required=True)
+
+    sp = suite_sub.add_parser("list", help="enumerate the registered sets")
+    sp.set_defaults(fn=_cmd_suite)
+
+    sp = suite_sub.add_parser(
+        "run",
+        help="run every member of a set under every policy "
+        "(per-benchmark failures don't kill the suite)",
+    )
+    sp.add_argument("set", help="set name (see `repro suite list`; "
+                    "'corpus' runs every trace in the active corpus)")
+    sp.add_argument("--policies", default="non-inclusive,exclusive,lap",
+                    help="comma-separated policy names, baseline first; "
+                    "the token 'arena' expands to the registry's "
+                    "arena-grid set")
+    sp.add_argument("--corpus", default=None, metavar="DIR",
+                    help="trace corpus for trace sets "
+                    "(default: $REPRO_CORPUS_DIR)")
+    sp.add_argument("--output", default=None, metavar="PATH",
+                    help="also write per-benchmark records as CSV")
+    sp.add_argument("--result-file", default=None, metavar="DIR",
+                    help="also write the suite_geomean.txt artefact "
+                    "(the experiment record indexes it)")
+    sp.add_argument("--json", action="store_true", help="machine-readable summary")
+    sp.add_argument("--heartbeat", type=float, default=10.0, metavar="SECONDS",
+                    help="progress-line interval (default: 10; 0 disables)")
+    _add_system_args(sp)
+    sp.set_defaults(fn=_cmd_suite)
+
+    p = sub.add_parser(
+        "corpus",
+        help="manage the content-addressed trace corpus "
+        "(add/list/verify/capture)",
+    )
+    corpus_sub = p.add_subparsers(dest="action", required=True)
+
+    def _add_corpus_dir(sp: argparse.ArgumentParser) -> None:
+        sp.add_argument("--dir", default=None, metavar="DIR",
+                        help="corpus directory (default: $REPRO_CORPUS_DIR)")
+
+    sp = corpus_sub.add_parser("add", help="verify and ingest trace archives")
+    sp.add_argument("paths", nargs="+", help="trace .npz files to ingest")
+    sp.add_argument("--name", default=None,
+                    help="override the stored trace name")
+    _add_corpus_dir(sp)
+    sp.set_defaults(fn=_cmd_corpus)
+
+    sp = corpus_sub.add_parser("list", help="enumerate corpus entries")
+    sp.add_argument("--json", action="store_true", help="machine-readable output")
+    _add_corpus_dir(sp)
+    sp.set_defaults(fn=_cmd_corpus)
+
+    sp = corpus_sub.add_parser(
+        "verify",
+        help="re-validate every entry (checksums, chunk lengths, "
+        "manifest agreement); exit 1 on any fault",
+    )
+    _add_corpus_dir(sp)
+    sp.set_defaults(fn=_cmd_corpus)
+
+    sp = corpus_sub.add_parser(
+        "capture",
+        help="capture a synthetic workload's reference stream into the corpus",
+    )
+    sp.add_argument("workload", help="workload name (mix/benchmark/PARSEC)")
+    sp.add_argument("--name", default=None,
+                    help="stored trace name (default: workload.coreN)")
+    sp.add_argument("--first-only", action="store_true",
+                    help="capture only core 0's stream")
+    _add_corpus_dir(sp)
+    _add_system_args(sp)
+    sp.set_defaults(fn=_cmd_corpus)
 
     p = sub.add_parser(
         "trace", help="record, summarize, or diff cache-event flight recordings"

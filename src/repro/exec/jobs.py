@@ -38,7 +38,8 @@ DUPLICATE = "duplicate"
 MIX = "mix"
 MULTIPROGRAMMED = "multiprogrammed"
 MULTITHREADED = "multithreaded"
-_KINDS = (DUPLICATE, MIX, MULTIPROGRAMMED, MULTITHREADED)
+TRACE = "trace"
+_KINDS = (DUPLICATE, MIX, MULTIPROGRAMMED, MULTITHREADED, TRACE)
 
 
 @dataclass(frozen=True)
@@ -98,6 +99,29 @@ class WorkloadSpec:
         """A PARSEC-like multithreaded workload (Fig. 20)."""
         return cls(kind=MULTITHREADED, benchmarks=(benchmark,), ncores=nthreads, seed=seed)
 
+    @classmethod
+    def trace(
+        cls, digests, ncores: int = 4, name: Optional[str] = None
+    ) -> "WorkloadSpec":
+        """A corpus-replay workload (``repro.workloads.corpus``).
+
+        ``benchmarks`` holds trace *content addresses* (SHA-256 file
+        digests), so the result cache keys these jobs by what the trace
+        contains, never by where it lives. One digest replays the same
+        capture on every core (rate-mode replay); otherwise one digest
+        per core is required. The corpus that resolves the digests is
+        discovered at build time via
+        :func:`repro.workloads.corpus.active_corpus` — an environment
+        channel, so pool workers in fresh processes find it too.
+        """
+        digests = tuple(digests)
+        if len(digests) not in (1, ncores):
+            raise WorkloadError(
+                f"a trace workload needs 1 digest (replayed on every "
+                f"core) or exactly ncores={ncores}, got {len(digests)}"
+            )
+        return cls(kind=TRACE, benchmarks=digests, ncores=ncores, name=name)
+
     # ------------------------------------------------------------------
     @property
     def label(self) -> str:
@@ -108,6 +132,8 @@ class WorkloadSpec:
             return f"{self.benchmarks[0]}x{self.ncores}"
         if self.kind == MULTIPROGRAMMED:
             return "+".join(self.benchmarks)
+        if self.kind == TRACE:
+            return "trace:" + "+".join(d[:12] for d in self.benchmarks)
         return self.benchmarks[0]
 
     def build(self, ctx: ScaleContext) -> Workload:
@@ -118,8 +144,29 @@ class WorkloadSpec:
             return make_table3_mix(self.benchmarks[0], ctx, seed=self.seed)
         if self.kind == MULTIPROGRAMMED:
             return make_multiprogrammed(self.benchmarks, ctx, seed=self.seed, name=self.name)
+        if self.kind == TRACE:
+            return self._build_trace()
         return make_multithreaded(
             self.benchmarks[0], ctx, nthreads=self.ncores, seed=self.seed
+        )
+
+    def _build_trace(self) -> Workload:
+        from ..workloads.corpus import active_corpus
+
+        corpus = active_corpus(required=True)
+        if len(self.benchmarks) == 1:
+            base = corpus.load(self.benchmarks[0], loop=True)
+            generators = [base.fork() for _ in range(self.ncores)]
+            names = (base.name,) * self.ncores
+        else:
+            loaded = [corpus.load(d, loop=True) for d in self.benchmarks]
+            generators = list(loaded)
+            names = tuple(g.name for g in loaded)
+        return Workload(
+            name=self.name or self.label,
+            kind=MULTIPROGRAMMED,
+            generators=generators,
+            benchmarks=names,
         )
 
     # WorkloadSpec *is* a WorkloadBuilder: callable(ScaleContext) -> Workload.

@@ -1,0 +1,240 @@
+"""The benchmark-set registry: named suites of workloads.
+
+The paper's headline results (Figs. 14/15/23) are defined over *sets*
+of workloads — the ten Table III mixes, the thirteen SPEC-like
+benchmarks, the PARSEC-like multithreaded pool. Before the registry,
+every sweep hand-rolled its own list; ``repro suite run <set>`` now
+names them once (SPEC-harness style: ``int``/``fp`` aliases, mix
+families, trait families) and the runner fans any set out through the
+exec pool.
+
+Two member kinds exist:
+
+- ``kind="workload"``: members are names :func:`repro.make_workload`
+  resolves (mixes, SPEC-like, PARSEC-like benchmarks);
+- ``kind="trace"``: members are content addresses into a trace corpus
+  (:mod:`repro.workloads.corpus`); :func:`corpus_set` derives such a
+  set from a corpus manifest, and :func:`resolve` accepts the
+  ``corpus`` pseudo-set name when a corpus is available.
+
+Unknown set names fail with the valid list plus a nearest-match
+suggestion, mirroring :mod:`repro.arena.registry`.
+"""
+
+from __future__ import annotations
+
+import difflib
+from dataclasses import dataclass
+from typing import Dict, Optional, Sequence, Tuple
+
+from ..errors import WorkloadError
+from ..workloads.corpus import TraceCorpus
+from ..workloads.mixes import TABLE3_ORDER, WH_MIXES, WL_MIXES
+from ..workloads.parsec import PARSEC_ORDER
+from ..workloads.spec import (
+    SPEC_BENCHMARKS,
+    TRAIT_LOOP_HEAVY,
+    TRAIT_REDUNDANT_FILL,
+    benchmark_names,
+)
+
+WORKLOAD = "workload"
+TRACE = "trace"
+_KINDS = (WORKLOAD, TRACE)
+
+#: The pseudo-set name that expands to "every trace in the active
+#: corpus" (resolved dynamically, never registered).
+CORPUS_SET = "corpus"
+
+
+@dataclass(frozen=True)
+class BenchmarkSet:
+    """A named, ordered suite of workloads (or corpus traces)."""
+
+    name: str
+    description: str
+    members: Tuple[str, ...]
+    kind: str = WORKLOAD
+    aliases: Tuple[str, ...] = ()
+    #: display labels paired with ``members`` (trace sets show the
+    #: corpus entry's name, not its digest); defaults to the members.
+    labels: Optional[Tuple[str, ...]] = None
+
+    def __post_init__(self) -> None:
+        if self.kind not in _KINDS:
+            raise WorkloadError(
+                f"unknown benchmark-set kind {self.kind!r}; known: {_KINDS}"
+            )
+        if not self.members:
+            raise WorkloadError(f"benchmark set {self.name!r} has no members")
+        if self.labels is not None and len(self.labels) != len(self.members):
+            raise WorkloadError(
+                f"benchmark set {self.name!r}: {len(self.labels)} labels "
+                f"for {len(self.members)} members"
+            )
+
+    def __len__(self) -> int:
+        return len(self.members)
+
+    def member_labels(self) -> Tuple[str, ...]:
+        return self.labels if self.labels is not None else self.members
+
+
+_SETS: Dict[str, BenchmarkSet] = {}
+_ALIASES: Dict[str, str] = {}
+
+
+def register_set(bset: BenchmarkSet) -> BenchmarkSet:
+    """Add a set to the registry (name and aliases must be fresh)."""
+    for name in (bset.name, *bset.aliases):
+        if name in _SETS or name in _ALIASES or name == CORPUS_SET:
+            raise WorkloadError(f"benchmark set name {name!r} registered twice")
+    _SETS[bset.name] = bset
+    for alias in bset.aliases:
+        _ALIASES[alias] = bset.name
+    return bset
+
+
+def set_names() -> Tuple[str, ...]:
+    """Every canonical set name, in registration order."""
+    return tuple(_SETS)
+
+
+def sets() -> Tuple[BenchmarkSet, ...]:
+    return tuple(_SETS.values())
+
+
+def suggest(name: str) -> Optional[str]:
+    """Nearest known set name or alias, for error messages."""
+    matches = difflib.get_close_matches(
+        name, [*_SETS, *_ALIASES, CORPUS_SET], n=1, cutoff=0.5
+    )
+    return matches[0] if matches else None
+
+
+def unknown_set(name: str) -> WorkloadError:
+    """Build the error for an unknown set: valid names + nearest match."""
+    message = (
+        f"unknown benchmark set {name!r}; valid sets: "
+        f"{', '.join(sorted([*_SETS, CORPUS_SET]))}"
+    )
+    near = suggest(name)
+    if near is not None:
+        near = _ALIASES.get(near, near)
+        message += f" (did you mean {near!r}?)"
+    return WorkloadError(message)
+
+
+def get_set(name: str) -> BenchmarkSet:
+    """Look up a registered set by canonical name or alias."""
+    bset = _SETS.get(name)
+    if bset is None:
+        target = _ALIASES.get(name)
+        bset = _SETS.get(target) if target else None
+    if bset is None:
+        raise unknown_set(name)
+    return bset
+
+
+def corpus_set(
+    corpus: TraceCorpus,
+    name: str = CORPUS_SET,
+    members: Optional[Sequence[str]] = None,
+) -> BenchmarkSet:
+    """A trace set over a corpus: every entry, or a named subset."""
+    if members is None:
+        entries = corpus.entries()
+    else:
+        entries = tuple(corpus.get(m) for m in members)
+    if not entries:
+        raise WorkloadError(f"corpus {corpus.root} is empty; nothing to run")
+    return BenchmarkSet(
+        name=name,
+        description=f"every trace in the corpus at {corpus.root}",
+        members=tuple(e.digest for e in entries),
+        labels=tuple(e.name for e in entries),
+        kind=TRACE,
+    )
+
+
+def resolve(name: str, corpus: Optional[TraceCorpus] = None) -> BenchmarkSet:
+    """Resolve a set name, including the dynamic ``corpus`` pseudo-set.
+
+    ``corpus`` (the whole active corpus) only resolves when a corpus is
+    actually available; registered names win otherwise.
+    """
+    if name == CORPUS_SET:
+        if corpus is None:
+            raise WorkloadError(
+                f"the {CORPUS_SET!r} set needs a trace corpus: pass "
+                "--corpus or set $REPRO_CORPUS_DIR"
+            )
+        return corpus_set(corpus)
+    return get_set(name)
+
+
+# ----------------------------------------------------------------------
+# built-in sets
+# ----------------------------------------------------------------------
+
+# SPEC CPU2006's own integer/floating-point split, restricted to the
+# thirteen benchmarks the paper models (Section V).
+SPEC_INT = ("bzip2", "mcf", "omnetpp", "astar", "xalancbmk", "libquantum")
+SPEC_FP = ("bwaves", "milc", "zeusmp", "leslie3d", "dealII", "GemsFDTD", "lbm")
+
+register_set(BenchmarkSet(
+    name="paper",
+    description="the ten Table III mixes behind Figs. 14-19 (WL1-WH5)",
+    members=TABLE3_ORDER,
+    aliases=("table3", "mixes"),
+))
+register_set(BenchmarkSet(
+    name="wl",
+    description="the write-light mix family (fewer LLC writes under exclusion)",
+    members=WL_MIXES,
+))
+register_set(BenchmarkSet(
+    name="wh",
+    description="the write-heavy mix family (more LLC writes under exclusion)",
+    members=WH_MIXES,
+))
+register_set(BenchmarkSet(
+    name="spec",
+    description="all thirteen SPEC-like benchmarks, paper x-axis order "
+    "(each runs as duplicate copies per core)",
+    members=benchmark_names(),
+    aliases=("all",),
+))
+register_set(BenchmarkSet(
+    name="int",
+    description="the SPEC CPU2006 integer benchmarks among the thirteen",
+    members=SPEC_INT,
+    aliases=("specint",),
+))
+register_set(BenchmarkSet(
+    name="fp",
+    description="the SPEC CPU2006 floating-point benchmarks among the thirteen",
+    members=SPEC_FP,
+    aliases=("specfp",),
+))
+register_set(BenchmarkSet(
+    name="loop",
+    description="benchmarks with >20% loop-blocks (Fig. 4's loop-heavy class)",
+    members=tuple(
+        b for b in benchmark_names()
+        if TRAIT_LOOP_HEAVY in SPEC_BENCHMARKS[b].traits
+    ),
+))
+register_set(BenchmarkSet(
+    name="redundant-fill",
+    description="benchmarks with >25% redundant LLC data-fills (Fig. 6)",
+    members=tuple(
+        b for b in benchmark_names()
+        if TRAIT_REDUNDANT_FILL in SPEC_BENCHMARKS[b].traits
+    ),
+))
+register_set(BenchmarkSet(
+    name="parsec",
+    description="the PARSEC-like multithreaded pool (Fig. 20)",
+    members=PARSEC_ORDER,
+))

@@ -1,11 +1,31 @@
-"""Trace capture and replay.
+"""Trace capture and replay (format v2: chunked, checksummed).
 
 Synthetic generators are cheap, but two workflows need materialised
 traces: (a) archiving the exact reference stream behind a published
 result, and (b) feeding externally collected traces (e.g. from a binary
-instrumentation tool) into the simulator. Traces are stored as
-compressed ``.npz`` archives holding the address/write arrays plus
-metadata (name, ``instr_per_ref``, capture length).
+instrumentation tool) into the simulator. Traces are stored as ``.npz``
+zip archives holding the address/write arrays plus metadata.
+
+Format v2 (DESIGN.md §16) is built for *large* traces and for corpus
+verification:
+
+- the reference stream is stored as a sequence of chunk members
+  (``chunk_0000_addrs`` / ``chunk_0000_writes`` …) so ingestion via
+  :class:`TraceWriter` streams chunk-by-chunk without ever holding the
+  whole trace in memory;
+- the ``meta`` member records the format version, the capture length,
+  the per-chunk lengths, and a SHA-256 checksum over the canonical
+  chunk bytes, so a truncated or hand-edited archive is *detectable*
+  (:func:`verify_trace`, ``repro corpus verify``) instead of silently
+  replaying wrong;
+- archives are written with pinned zip timestamps, so re-capturing the
+  same stream yields byte-identical files — a requirement for the
+  content-addressed corpus (:mod:`repro.workloads.corpus`).
+
+Format v1 (a single ``addrs``/``writes`` pair, no chunking, no
+checksum) is still loadable; :func:`load_trace` validates its array
+lengths against the recorded capture length, and :func:`verify_trace`
+flags the missing checksum so corpora can be migrated by re-adding.
 
 ``save_trace`` materialises N references from any generator;
 ``load_trace`` returns a :class:`ReplayTrace` that streams them back
@@ -16,16 +36,173 @@ references than were captured).
 
 from __future__ import annotations
 
+import hashlib
+import io
 import json
 import pathlib
-from typing import Tuple, Union
+import zipfile
+from dataclasses import dataclass
+from typing import List, Optional, Tuple, Union
 
 import numpy as np
 
 from ..errors import WorkloadError
 from .trace import TraceGenerator
 
-FORMAT_VERSION = 1
+#: Current on-disk format. v1 = one addrs/writes pair, no checksum;
+#: v2 = chunked members + per-chunk lengths + SHA-256 checksum.
+FORMAT_VERSION = 2
+SUPPORTED_VERSIONS = (1, 2)
+
+#: Pinned member timestamp so identical content produces identical
+#: bytes (the corpus content-addresses whole files).
+_ZIP_DATE = (2020, 1, 1, 0, 0, 0)
+
+_META_MEMBER = "meta"
+
+
+def _chunk_digest(sha: "hashlib._Hash", addrs: np.ndarray, writes: np.ndarray) -> None:
+    """Fold one chunk into the running checksum, canonically encoded
+    (little-endian u8 addresses, one byte per write flag) so the digest
+    is platform-independent."""
+    sha.update(np.ascontiguousarray(addrs, dtype="<u8").tobytes())
+    sha.update(np.ascontiguousarray(writes, dtype="u1").tobytes())
+
+
+def _write_member(zf: zipfile.ZipFile, name: str, arr: np.ndarray) -> None:
+    buf = io.BytesIO()
+    np.lib.format.write_array(buf, np.ascontiguousarray(arr), allow_pickle=False)
+    info = zipfile.ZipInfo(name + ".npy", date_time=_ZIP_DATE)
+    info.compress_type = zipfile.ZIP_DEFLATED
+    zf.writestr(info, buf.getvalue())
+
+
+@dataclass(frozen=True)
+class TraceInfo:
+    """One trace file's metadata (no reference arrays loaded)."""
+
+    path: pathlib.Path
+    version: int
+    name: str
+    length: int
+    instr_per_ref: float
+    chunks: int
+    checksum: Optional[str]
+
+    def as_dict(self) -> dict:
+        return {
+            "path": str(self.path),
+            "version": self.version,
+            "name": self.name,
+            "length": self.length,
+            "instr_per_ref": self.instr_per_ref,
+            "chunks": self.chunks,
+            "checksum": self.checksum,
+        }
+
+
+class TraceWriter:
+    """Streaming trace ingestion: append chunks, then :meth:`close`.
+
+    Memory use is bounded by the largest appended chunk — the writer
+    never concatenates. ``expected_length`` (when given) is enforced at
+    close time, so a short capture fails loudly instead of recording a
+    ``length`` that lies. Use as a context manager; an exception inside
+    the ``with`` block aborts the write and removes the partial file.
+    """
+
+    def __init__(
+        self,
+        path: Union[str, pathlib.Path],
+        name: str,
+        instr_per_ref: float,
+        expected_length: Optional[int] = None,
+    ) -> None:
+        path = pathlib.Path(path)
+        if path.suffix != ".npz":
+            path = path.with_suffix(path.suffix + ".npz")
+        self.path = path
+        self.name = name
+        self.instr_per_ref = float(instr_per_ref)
+        self.expected_length = expected_length
+        self._chunk_lengths: List[int] = []
+        self._sha = hashlib.sha256()
+        self._closed = False
+        try:
+            self._zip = zipfile.ZipFile(path, "w", zipfile.ZIP_DEFLATED)
+        except OSError as exc:
+            raise WorkloadError(f"cannot write trace file {path}: {exc}") from None
+
+    @property
+    def length(self) -> int:
+        """References appended so far."""
+        return sum(self._chunk_lengths)
+
+    def append(self, addrs, writes) -> None:
+        """Append one chunk of references to the archive."""
+        if self._closed:
+            raise WorkloadError(f"trace writer for {self.path} is closed")
+        addrs = np.asarray(addrs, dtype=np.uint64)
+        writes = np.asarray(writes, dtype=bool)
+        if len(addrs) != len(writes):
+            raise WorkloadError(
+                f"chunk length mismatch: {len(addrs)} addresses vs "
+                f"{len(writes)} write flags"
+            )
+        if len(addrs) == 0:
+            raise WorkloadError("cannot append an empty chunk")
+        index = len(self._chunk_lengths)
+        _write_member(self._zip, f"chunk_{index:04d}_addrs", addrs)
+        _write_member(self._zip, f"chunk_{index:04d}_writes", writes)
+        _chunk_digest(self._sha, addrs, writes)
+        self._chunk_lengths.append(len(addrs))
+
+    def close(self) -> pathlib.Path:
+        """Finalise the archive: write the ``meta`` member and close."""
+        if self._closed:
+            return self.path
+        if not self._chunk_lengths:
+            self.abort()
+            raise WorkloadError(f"trace {self.path} has no chunks; nothing written")
+        total = self.length
+        if self.expected_length is not None and total != self.expected_length:
+            self.abort()
+            raise WorkloadError(
+                f"short capture for {self.path}: expected "
+                f"{self.expected_length} references, got {total}"
+            )
+        meta = {
+            "version": FORMAT_VERSION,
+            "name": self.name,
+            "instr_per_ref": self.instr_per_ref,
+            "length": int(total),
+            "chunk_lengths": [int(c) for c in self._chunk_lengths],
+            "checksum": self._sha.hexdigest(),
+        }
+        _write_member(
+            self._zip,
+            _META_MEMBER,
+            np.frombuffer(json.dumps(meta, sort_keys=True).encode(), dtype=np.uint8),
+        )
+        self._zip.close()
+        self._closed = True
+        return self.path
+
+    def abort(self) -> None:
+        """Discard the partial archive (error paths)."""
+        if not self._closed:
+            self._closed = True
+            self._zip.close()
+            self.path.unlink(missing_ok=True)
+
+    def __enter__(self) -> "TraceWriter":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        if exc_type is None:
+            self.close()
+        else:
+            self.abort()
 
 
 def save_trace(
@@ -36,35 +213,34 @@ def save_trace(
 ) -> pathlib.Path:
     """Materialise ``n`` references from ``generator`` into ``path``.
 
-    Returns the written path (``.npz`` appended if missing).
+    Returns the written path (``.npz`` appended if missing). Each
+    generator chunk is validated against the requested size — a
+    generator that returns short would otherwise record a ``length``
+    that lies about the archive's content.
     """
     if n <= 0:
         raise WorkloadError(f"trace length must be positive, got {n}")
-    path = pathlib.Path(path)
-    if path.suffix != ".npz":
-        path = path.with_suffix(path.suffix + ".npz")
-    addr_chunks = []
-    write_chunks = []
-    remaining = n
-    while remaining > 0:
-        take = min(batch, remaining)
-        addrs, writes = generator.batch(take)
-        addr_chunks.append(np.asarray(addrs, dtype=np.uint64))
-        write_chunks.append(np.asarray(writes, dtype=bool))
-        remaining -= take
-    meta = {
-        "version": FORMAT_VERSION,
-        "name": generator.name,
-        "instr_per_ref": float(generator.instr_per_ref),
-        "length": int(n),
-    }
-    np.savez_compressed(
-        path,
-        addrs=np.concatenate(addr_chunks),
-        writes=np.concatenate(write_chunks),
-        meta=np.frombuffer(json.dumps(meta).encode(), dtype=np.uint8),
-    )
-    return path
+    if batch <= 0:
+        raise WorkloadError(f"capture batch size must be positive, got {batch}")
+    with TraceWriter(
+        path, name=generator.name, instr_per_ref=generator.instr_per_ref,
+        expected_length=n,
+    ) as writer:
+        remaining = n
+        while remaining > 0:
+            take = min(batch, remaining)
+            addrs, writes = generator.batch(take)
+            addrs = np.asarray(addrs, dtype=np.uint64)
+            writes = np.asarray(writes, dtype=bool)
+            if len(addrs) != take or len(writes) != take:
+                raise WorkloadError(
+                    f"short capture: generator {generator.name!r} returned "
+                    f"{min(len(addrs), len(writes))} references for a "
+                    f"{take}-reference request at offset {n - remaining}"
+                )
+            writer.append(addrs, writes)
+            remaining -= take
+    return writer.path
 
 
 class ReplayTrace(TraceGenerator):
@@ -72,7 +248,13 @@ class ReplayTrace(TraceGenerator):
 
     ``loop=True`` wraps around at the end (useful for driving arbitrary
     run lengths); ``loop=False`` raises :class:`WorkloadError` when the
-    capture is exhausted, mirroring :class:`FixedTrace`.
+    capture is exhausted, mirroring :class:`FixedTrace`. Cursor
+    accounting is committed only after a batch copies successfully, so
+    a failed copy (e.g. a corrupt archive surfacing as a dtype error)
+    leaves the stream where it was; :meth:`reset` rewinds one loaded
+    trace so it can drive several runs deterministically, and
+    :meth:`fork` hands out an independent cursor over the same arrays
+    (one archive load feeding many cores).
     """
 
     def __init__(
@@ -100,6 +282,26 @@ class ReplayTrace(TraceGenerator):
     def __len__(self) -> int:
         return len(self._addrs)
 
+    @property
+    def consumed(self) -> int:
+        """References handed out since construction / the last reset."""
+        return self._consumed
+
+    def reset(self) -> None:
+        """Rewind to the start of the capture."""
+        self._pos = 0
+        self._consumed = 0
+
+    def fork(self, loop: Optional[bool] = None) -> "ReplayTrace":
+        """A fresh, independent cursor sharing this trace's arrays."""
+        return ReplayTrace(
+            self._addrs,
+            self._writes,
+            name=self.name,
+            instr_per_ref=self.instr_per_ref,
+            loop=self.loop if loop is None else loop,
+        )
+
     def batch(self, n: int) -> Tuple[np.ndarray, np.ndarray]:
         if n <= 0:
             raise WorkloadError(f"batch size must be positive, got {n}")
@@ -109,39 +311,140 @@ class ReplayTrace(TraceGenerator):
                 f"trace {self.name!r} exhausted: asked for {n}, "
                 f"{total - self._consumed} remain (pass loop=True to wrap)"
             )
-        self._consumed += n
         out_a = np.empty(n, dtype=np.uint64)
         out_w = np.empty(n, dtype=bool)
         filled = 0
-        while filled < n:
-            take = min(n - filled, total - self._pos)
-            out_a[filled : filled + take] = self._addrs[self._pos : self._pos + take]
-            out_w[filled : filled + take] = self._writes[self._pos : self._pos + take]
-            self._pos = (self._pos + take) % total
-            filled += take
+        pos = self._pos
+        try:
+            while filled < n:
+                take = min(n - filled, total - pos)
+                out_a[filled : filled + take] = self._addrs[pos : pos + take]
+                out_w[filled : filled + take] = self._writes[pos : pos + take]
+                pos = (pos + take) % total
+                filled += take
+        except (ValueError, TypeError) as exc:
+            raise WorkloadError(
+                f"corrupt trace {self.name!r}: copy failed at offset "
+                f"{self._consumed + filled}: {exc}"
+            ) from None
+        # Commit accounting only after the whole batch copied, so a
+        # failure above leaves the cursor replayable.
+        self._pos = pos
+        self._consumed += n
         return out_a, out_w
 
 
-def load_trace(path: Union[str, pathlib.Path], loop: bool = True) -> ReplayTrace:
-    """Load a trace written by :func:`save_trace`."""
+def _resolve_path(path: Union[str, pathlib.Path]) -> pathlib.Path:
     path = pathlib.Path(path)
     if not path.exists() and path.with_suffix(path.suffix + ".npz").exists():
         path = path.with_suffix(path.suffix + ".npz")
+    return path
+
+
+def _read_meta(path: pathlib.Path, archive) -> dict:
+    try:
+        meta = json.loads(bytes(archive[_META_MEMBER]).decode())
+    except KeyError as exc:
+        raise WorkloadError(f"trace file {path} missing field {exc}") from None
+    except (ValueError, UnicodeDecodeError) as exc:
+        raise WorkloadError(f"trace file {path} has corrupt metadata: {exc}") from None
+    version = meta.get("version")
+    if version not in SUPPORTED_VERSIONS:
+        raise WorkloadError(
+            f"trace file {path} has format version {version}; "
+            f"supported: {SUPPORTED_VERSIONS}"
+        )
+    if not isinstance(meta.get("length"), int) or meta["length"] <= 0:
+        raise WorkloadError(
+            f"trace file {path} declares invalid length {meta.get('length')!r}"
+        )
+    return meta
+
+
+def _load_arrays(
+    path: pathlib.Path, archive, meta: dict, checksum: bool
+) -> Tuple[np.ndarray, np.ndarray, Optional[str]]:
+    """Read and validate the reference arrays of either format version.
+
+    Returns ``(addrs, writes, checksum_hex)`` — the recomputed checksum
+    is only non-None when ``checksum=True`` and the format carries one.
+    """
+    expected = meta["length"]
+    if meta["version"] == 1:
+        try:
+            addrs = archive["addrs"]
+            writes = archive["writes"]
+        except KeyError as exc:
+            raise WorkloadError(f"trace file {path} missing field {exc}") from None
+        if len(addrs) != expected or len(writes) != expected:
+            raise WorkloadError(
+                f"truncated trace file {path}: meta declares {expected} "
+                f"references but archive holds {len(addrs)} addresses / "
+                f"{len(writes)} write flags"
+            )
+        return addrs, writes, None
+
+    chunk_lengths = meta.get("chunk_lengths")
+    if not isinstance(chunk_lengths, list) or not chunk_lengths:
+        raise WorkloadError(f"trace file {path} missing field 'chunk_lengths'")
+    if sum(chunk_lengths) != expected:
+        raise WorkloadError(
+            f"truncated trace file {path}: meta declares {expected} "
+            f"references but chunk lengths sum to {sum(chunk_lengths)}"
+        )
+    sha = hashlib.sha256() if checksum else None
+    addr_chunks: List[np.ndarray] = []
+    write_chunks: List[np.ndarray] = []
+    for i, declared in enumerate(chunk_lengths):
+        try:
+            addrs = archive[f"chunk_{i:04d}_addrs"]
+            writes = archive[f"chunk_{i:04d}_writes"]
+        except KeyError as exc:
+            raise WorkloadError(
+                f"truncated trace file {path}: missing field {exc}"
+            ) from None
+        if len(addrs) != declared or len(writes) != declared:
+            raise WorkloadError(
+                f"truncated trace file {path}: chunk {i} declares {declared} "
+                f"references but holds {len(addrs)} addresses / "
+                f"{len(writes)} write flags"
+            )
+        if sha is not None:
+            _chunk_digest(sha, addrs, writes)
+        addr_chunks.append(addrs)
+        write_chunks.append(writes)
+    digest = sha.hexdigest() if sha is not None else None
+    if digest is not None and digest != meta.get("checksum"):
+        raise WorkloadError(
+            f"corrupt trace file {path}: checksum mismatch (meta declares "
+            f"{meta.get('checksum')}, content hashes to {digest})"
+        )
+    if len(addr_chunks) == 1:
+        return addr_chunks[0], write_chunks[0], digest
+    return np.concatenate(addr_chunks), np.concatenate(write_chunks), digest
+
+
+def load_trace(
+    path: Union[str, pathlib.Path], loop: bool = True, checksum: bool = False
+) -> ReplayTrace:
+    """Load a trace written by :func:`save_trace` (either format).
+
+    Array lengths are always validated against the recorded capture
+    length; ``checksum=True`` additionally re-hashes the content
+    against the v2 checksum (the corpus verify path does this for
+    every archive).
+    """
+    path = _resolve_path(path)
     try:
         archive = np.load(path)
-    except (OSError, ValueError) as exc:
-        raise WorkloadError(f"cannot read trace file {path}: {exc}")
+    except (OSError, ValueError, zipfile.BadZipFile) as exc:
+        raise WorkloadError(f"cannot read trace file {path}: {exc}") from None
     try:
-        meta = json.loads(bytes(archive["meta"]).decode())
-        addrs = archive["addrs"]
-        writes = archive["writes"]
-    except KeyError as exc:
-        raise WorkloadError(f"trace file {path} missing field {exc}")
-    if meta.get("version") != FORMAT_VERSION:
-        raise WorkloadError(
-            f"trace file {path} has format version {meta.get('version')}; "
-            f"expected {FORMAT_VERSION}"
-        )
+        with archive:
+            meta = _read_meta(path, archive)
+            addrs, writes, _ = _load_arrays(path, archive, meta, checksum)
+    except (OSError, ValueError, zipfile.BadZipFile) as exc:
+        raise WorkloadError(f"cannot read trace file {path}: {exc}") from None
     return ReplayTrace(
         addrs,
         writes,
@@ -149,3 +452,46 @@ def load_trace(path: Union[str, pathlib.Path], loop: bool = True) -> ReplayTrace
         instr_per_ref=meta.get("instr_per_ref", 4.0),
         loop=loop,
     )
+
+
+def _info_from_meta(path: pathlib.Path, meta: dict) -> TraceInfo:
+    return TraceInfo(
+        path=path,
+        version=meta["version"],
+        name=meta.get("name", path.stem),
+        length=meta["length"],
+        instr_per_ref=float(meta.get("instr_per_ref", 4.0)),
+        chunks=len(meta.get("chunk_lengths", [])) or 1,
+        checksum=meta.get("checksum"),
+    )
+
+
+def trace_info(path: Union[str, pathlib.Path]) -> TraceInfo:
+    """The trace's metadata without loading the reference arrays."""
+    path = _resolve_path(path)
+    try:
+        with np.load(path) as archive:
+            meta = _read_meta(path, archive)
+    except (OSError, ValueError, zipfile.BadZipFile) as exc:
+        raise WorkloadError(f"cannot read trace file {path}: {exc}") from None
+    return _info_from_meta(path, meta)
+
+
+def verify_trace(path: Union[str, pathlib.Path]) -> TraceInfo:
+    """Fully validate a trace archive; raises :class:`WorkloadError`.
+
+    Checks metadata well-formedness, every chunk's length against the
+    manifest, the total against the capture length, and (v2) the
+    SHA-256 checksum against the content. v1 archives pass length
+    validation but are flagged: they carry no checksum, so corruption
+    inside the arrays is undetectable — re-capture or re-add to a
+    corpus to migrate them to v2.
+    """
+    path = _resolve_path(path)
+    try:
+        with np.load(path) as archive:
+            meta = _read_meta(path, archive)
+            _load_arrays(path, archive, meta, checksum=True)
+    except (OSError, ValueError, zipfile.BadZipFile) as exc:
+        raise WorkloadError(f"cannot read trace file {path}: {exc}") from None
+    return _info_from_meta(path, meta)

@@ -73,3 +73,11 @@ class TestExamples:
         assert "arena grid" in out
         assert "reuse-detector" in out and "rd-copyback" in out
         assert "ways dark" in out
+
+    def test_suite_demo(self, monkeypatch, capsys, tmp_path):
+        run_example(monkeypatch, "suite_demo", ["loop", "1500", str(tmp_path)])
+        out = capsys.readouterr().out
+        assert "geomean ratios" in out
+        assert "0 simulated" in out  # the cache-warm rerun
+        assert "corpus verifies clean" in out
+        assert (tmp_path / "results" / "suite_geomean.txt").exists()

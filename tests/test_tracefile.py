@@ -1,17 +1,104 @@
 """Tests for trace capture/replay (workloads.tracefile)."""
 
+import json
+import zipfile
+
 import numpy as np
 import pytest
 
 from repro.errors import WorkloadError
 from repro.workloads import LoopRegion, SyntheticTrace
-from repro.workloads.tracefile import ReplayTrace, load_trace, save_trace
+from repro.workloads import tracefile as tracefile_mod
+from repro.workloads.tracefile import (
+    ReplayTrace,
+    TraceWriter,
+    load_trace,
+    save_trace,
+    trace_info,
+    verify_trace,
+)
 
 
 def make_gen(seed=3):
     return SyntheticTrace(
         [(LoopRegion(0, 64 * 64), 1.0)], seed=seed, name="looper", instr_per_ref=5.0
     )
+
+
+def write_v1(path, addrs, writes, length=None, name="v1trace", instr_per_ref=4.0):
+    """A format-v1 archive (single addrs/writes pair, no checksum)."""
+    meta = {
+        "version": 1,
+        "name": name,
+        "instr_per_ref": instr_per_ref,
+        "length": int(length if length is not None else len(addrs)),
+    }
+    np.savez(
+        path,
+        addrs=np.asarray(addrs, dtype=np.uint64),
+        writes=np.asarray(writes, dtype=bool),
+        meta=np.frombuffer(json.dumps(meta).encode(), dtype=np.uint8),
+    )
+    return path
+
+
+def drop_member(path, member):
+    """Rewrite a zip archive without one member (simulated truncation)."""
+    with zipfile.ZipFile(path) as zf:
+        names = zf.namelist()
+        kept = {n: zf.read(n) for n in names if n != member}
+    assert member in names, f"{member} not in {names}"
+    with zipfile.ZipFile(path, "w") as zf:
+        for n, blob in kept.items():
+            zf.writestr(n, blob)
+
+
+def tamper_chunk(path, member="chunk_0000_addrs.npy"):
+    """Flip one address in a chunk without touching lengths or meta."""
+    with zipfile.ZipFile(path) as zf:
+        members = {n: zf.read(n) for n in zf.namelist()}
+    buf = np.frombuffer(members[member], dtype=np.uint8).copy()
+    buf[-1] ^= 0xFF  # last byte is array data, well past the npy header
+    members[member] = buf.tobytes()
+    with zipfile.ZipFile(path, "w") as zf:
+        for n, blob in members.items():
+            zf.writestr(n, blob)
+
+
+class _SpyArchive:
+    """Wraps the real NpzFile to record whether close() was called."""
+
+    def __init__(self, real):
+        self._real = real
+        self.closed = False
+
+    def __getitem__(self, key):
+        return self._real[key]
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, *exc):
+        self.close()
+
+    def close(self):
+        self.closed = True
+        self._real.close()
+
+
+@pytest.fixture
+def spy_load(monkeypatch):
+    """Patch np.load (as tracefile sees it) to hand out spy archives."""
+    spies = []
+    real_load = np.load
+
+    def _load(path, *args, **kwargs):
+        spy = _SpyArchive(real_load(path, *args, **kwargs))
+        spies.append(spy)
+        return spy
+
+    monkeypatch.setattr(tracefile_mod.np, "load", _load)
+    return spies
 
 
 class TestSaveLoadRoundtrip:
@@ -90,6 +177,230 @@ class TestReplayTrace:
     def test_nonpositive_batch_rejected(self):
         with pytest.raises(WorkloadError):
             self._replay().batch(0)
+
+
+class TestLengthValidation:
+    """Regression: load_trace must reject arrays that contradict
+    meta["length"] instead of silently replaying a short stream."""
+
+    def test_v1_meta_length_lie_detected(self, tmp_path):
+        path = write_v1(
+            tmp_path / "lie.npz",
+            np.arange(50, dtype=np.uint64) * 64,
+            np.zeros(50, dtype=bool),
+            length=500,  # meta claims 10x the actual content
+        )
+        with pytest.raises(WorkloadError, match="truncated trace file"):
+            load_trace(path)
+
+    def test_v1_honest_archive_loads(self, tmp_path):
+        path = write_v1(
+            tmp_path / "ok.npz",
+            np.arange(50, dtype=np.uint64) * 64,
+            np.zeros(50, dtype=bool),
+        )
+        replay = load_trace(path)
+        assert len(replay) == 50
+        assert replay.name == "v1trace"
+
+    def test_v1_flagged_by_verify(self, tmp_path):
+        path = write_v1(
+            tmp_path / "ok.npz",
+            np.arange(50, dtype=np.uint64) * 64,
+            np.zeros(50, dtype=bool),
+        )
+        info = verify_trace(path)
+        assert info.version == 1
+        assert info.checksum is None
+
+    def test_v2_missing_chunk_detected(self, tmp_path):
+        path = save_trace(tmp_path / "t", make_gen(), 600, batch=200)
+        drop_member(path, "chunk_0002_addrs.npy")
+        with pytest.raises(WorkloadError, match="truncated trace file"):
+            load_trace(path)
+
+    def test_v2_chunk_length_sum_mismatch_detected(self, tmp_path):
+        import io
+
+        path = save_trace(tmp_path / "t", make_gen(), 400, batch=200)
+        # rewrite meta so the declared total contradicts the chunks
+        with zipfile.ZipFile(path) as zf:
+            members = {n: zf.read(n) for n in zf.namelist()}
+        with np.load(path) as archive:
+            meta = json.loads(bytes(archive["meta"]).decode())
+        meta["length"] = 999
+        bio = io.BytesIO()
+        np.lib.format.write_array(
+            bio,
+            np.frombuffer(json.dumps(meta).encode(), dtype=np.uint8),
+            allow_pickle=False,
+        )
+        members["meta.npy"] = bio.getvalue()
+        with zipfile.ZipFile(path, "w") as zf:
+            for n, blob in members.items():
+                zf.writestr(n, blob)
+        with pytest.raises(WorkloadError, match="truncated trace file"):
+            load_trace(path)
+
+
+class TestChecksum:
+    def test_tampered_content_caught_by_verify(self, tmp_path):
+        path = save_trace(tmp_path / "t", make_gen(), 300)
+        tamper_chunk(path)
+        with pytest.raises(WorkloadError, match="checksum mismatch"):
+            verify_trace(path)
+
+    def test_tampered_content_caught_by_checksum_load(self, tmp_path):
+        path = save_trace(tmp_path / "t", make_gen(), 300)
+        tamper_chunk(path)
+        with pytest.raises(WorkloadError, match="checksum mismatch"):
+            load_trace(path, checksum=True)
+
+    def test_clean_archive_passes_checksum(self, tmp_path):
+        path = save_trace(tmp_path / "t", make_gen(), 300)
+        info = verify_trace(path)
+        assert info.checksum is not None
+        assert len(load_trace(path, checksum=True)) == 300
+
+    def test_capture_is_byte_deterministic(self, tmp_path):
+        """The corpus content-addresses whole files, so identical
+        streams must serialise to identical bytes."""
+        p1 = save_trace(tmp_path / "a", make_gen(seed=9), 777, batch=100)
+        p2 = save_trace(tmp_path / "b", make_gen(seed=9), 777, batch=100)
+        assert p1.read_bytes() == p2.read_bytes()
+
+    def test_trace_info_reads_meta_only(self, tmp_path):
+        path = save_trace(tmp_path / "t", make_gen(), 450, batch=100)
+        info = trace_info(path)
+        assert info.length == 450
+        assert info.chunks == 5
+        assert info.version == 2
+
+
+class TestHandleLifetime:
+    """Regression: load_trace leaked the NpzFile handle (np.load was
+    never closed) — both success and failure paths must close it."""
+
+    def test_archive_closed_on_success(self, tmp_path, spy_load):
+        path = save_trace(tmp_path / "t", make_gen(), 100)
+        load_trace(path)
+        assert spy_load and all(s.closed for s in spy_load)
+
+    def test_archive_closed_on_validation_failure(self, tmp_path, spy_load):
+        path = write_v1(
+            tmp_path / "lie.npz",
+            np.arange(10, dtype=np.uint64) * 64,
+            np.zeros(10, dtype=bool),
+            length=99,
+        )
+        with pytest.raises(WorkloadError):
+            load_trace(path)
+        assert spy_load and all(s.closed for s in spy_load)
+
+    def test_archive_closed_by_verify_and_info(self, tmp_path, spy_load):
+        path = save_trace(tmp_path / "t", make_gen(), 100)
+        verify_trace(path)
+        trace_info(path)
+        assert len(spy_load) == 2 and all(s.closed for s in spy_load)
+
+
+class _ShortGen:
+    """A generator that returns fewer references than asked."""
+
+    name = "shorty"
+    instr_per_ref = 4.0
+
+    def __init__(self, deliver):
+        self.deliver = deliver
+
+    def batch(self, n):
+        take = min(n, self.deliver)
+        self.deliver -= take
+        return (
+            np.arange(take, dtype=np.uint64) * 64,
+            np.zeros(take, dtype=bool),
+        )
+
+
+class TestShortCapture:
+    """Regression: save_trace trusted generator.batch(take) to return
+    exactly take references; a short generator recorded a lying
+    length."""
+
+    def test_short_generator_raises(self, tmp_path):
+        with pytest.raises(WorkloadError, match="short capture"):
+            save_trace(tmp_path / "t", _ShortGen(100), 500, batch=200)
+
+    def test_no_partial_file_left_behind(self, tmp_path):
+        with pytest.raises(WorkloadError):
+            save_trace(tmp_path / "t", _ShortGen(100), 500, batch=200)
+        assert not (tmp_path / "t.npz").exists()
+
+    def test_writer_short_capture_at_close(self, tmp_path):
+        writer = TraceWriter(tmp_path / "t", "w", 4.0, expected_length=100)
+        writer.append(np.zeros(10, dtype=np.uint64), np.zeros(10, dtype=bool))
+        with pytest.raises(WorkloadError, match="short capture"):
+            writer.close()
+        assert not (tmp_path / "t.npz").exists()
+
+    def test_writer_context_manager_aborts_on_error(self, tmp_path):
+        with pytest.raises(RuntimeError):
+            with TraceWriter(tmp_path / "t", "w", 4.0) as writer:
+                writer.append(
+                    np.zeros(10, dtype=np.uint64), np.zeros(10, dtype=bool)
+                )
+                raise RuntimeError("boom")
+        assert not (tmp_path / "t.npz").exists()
+
+
+class TestReplayAccounting:
+    """Regression: ReplayTrace.batch advanced _consumed before copying,
+    so a failed copy corrupted the cursor state."""
+
+    def _replay(self, n=8):
+        return ReplayTrace(
+            np.arange(n, dtype=np.uint64) * 64,
+            np.zeros(n, dtype=bool),
+            "r",
+            4.0,
+        )
+
+    def test_failed_copy_leaves_cursor_unchanged(self):
+        r = self._replay(8)
+        r.batch(3)
+        assert r.consumed == 3
+        # Corrupt the backing store so the copy loop blows up mid-batch
+        # (a short writes array makes the slice assignment shape-mismatch).
+        r._writes = np.zeros(5, dtype=bool)
+        with pytest.raises(WorkloadError, match="corrupt trace"):
+            r.batch(4)
+        assert r.consumed == 3  # accounting not advanced by the failure
+        # Restore and confirm the stream resumes exactly where it was.
+        r._writes = np.zeros(8, dtype=bool)
+        a, _ = r.batch(2)
+        assert a.tolist() == [3 * 64, 4 * 64]
+
+    def test_reset_rewinds(self):
+        r = self._replay(4)
+        first, _ = r.batch(3)
+        r.reset()
+        assert r.consumed == 0
+        again, _ = r.batch(3)
+        assert first.tolist() == again.tolist()
+
+    def test_fork_is_independent(self):
+        r = self._replay(4)
+        r.batch(2)
+        fork = r.fork()
+        assert fork.consumed == 0
+        a, _ = fork.batch(2)
+        assert a.tolist() == [0, 64]  # fork starts at the beginning
+        assert r.consumed == 2  # parent unaffected by the fork's reads
+
+    def test_consumed_tracks_wrapped_batches(self):
+        r = self._replay(4)
+        r.batch(10)
+        assert r.consumed == 10
 
 
 class TestReplayInSimulator:
